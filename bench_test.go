@@ -1,0 +1,354 @@
+// Package hammertime's root benchmark suite regenerates every experiment
+// table/figure of the reproduction (one benchmark per experiment; see
+// DESIGN.md's index) and measures the simulator's own hot paths. The
+// experiment benchmarks run reduced parameter sets suitable for
+// `go test -bench`; `cmd/hammerbench` produces the full tables.
+package hammertime
+
+import (
+	"testing"
+
+	"hammertime/internal/addr"
+	"hammertime/internal/attack"
+	"hammertime/internal/cache"
+	"hammertime/internal/core"
+	"hammertime/internal/defense"
+	"hammertime/internal/dram"
+	"hammertime/internal/harness"
+	"hammertime/internal/memctrl"
+)
+
+// --- Experiment benchmarks (E1-E8) ---
+
+// BenchmarkE1ProtectionMatrix regenerates a slice of the Table 1 matrix:
+// one defense per taxonomy class against the full attack catalog.
+func BenchmarkE1ProtectionMatrix(b *testing.B) {
+	var cross uint64
+	for i := 0; i < b.N; i++ {
+		tb, err := harness.E1Matrix(
+			[]string{"none", "trr", "subarray", "actremap", "swrefresh", "anvil"},
+			12, harness.AttackOpts{Horizon: 2_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cross += uint64(len(tb.Rows))
+	}
+	b.ReportMetric(float64(cross)/float64(b.N), "defenses/op")
+}
+
+// BenchmarkE2Interleaving regenerates the interleaving-throughput figure.
+func BenchmarkE2Interleaving(b *testing.B) {
+	var loss float64
+	for i := 0; i < b.N; i++ {
+		_, results, err := harness.E2Interleaving(1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Scheme == "bank-partition(4)" && r.Workload == "stream" {
+				loss = r.LossVsInterleave
+			}
+		}
+	}
+	b.ReportMetric(loss, "bankpart-stream-loss-%")
+}
+
+// BenchmarkE3DensityScaling regenerates the generation sweep.
+func BenchmarkE3DensityScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.E3DensityScaling(6_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4Overhead regenerates the benign-slowdown table.
+func BenchmarkE4Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.E4Overhead(600_000, []float64{0.001, 0.02}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5TRRBypass regenerates the TRRespass sweep (reduced points).
+func BenchmarkE5TRRBypass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.E5TRRBypass(16_000_000, []int{2, 12}, []int{4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6ActInterrupt regenerates the counter-design comparison.
+func BenchmarkE6ActInterrupt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.E6ActInterrupt(3_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7RefreshInstr regenerates the refresh-path micro-comparison
+// and reports the headline numbers: cycles per targeted refresh by path.
+func BenchmarkE7RefreshInstr(b *testing.B) {
+	var instr, load float64
+	for i := 0; i < b.N; i++ {
+		_, results, err := harness.E7RefreshPath()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.BankState != "other row open" {
+				continue
+			}
+			switch r.Method {
+			case harness.E7RefreshInstr:
+				instr = float64(r.Cycles)
+			case harness.E7LoadPath:
+				load = float64(r.Cycles)
+			}
+		}
+	}
+	b.ReportMetric(instr, "refresh-instr-cycles")
+	b.ReportMetric(load, "clflush+load-cycles")
+}
+
+// BenchmarkE8Enclave regenerates the enclave-semantics table.
+func BenchmarkE8Enclave(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.E8Enclave(2_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9ECC regenerates the SECDED outcome hierarchy.
+func BenchmarkE9ECC(b *testing.B) {
+	var silent uint64
+	for i := 0; i < b.N; i++ {
+		_, outs, err := harness.E9ECC([]uint64{2_000_000, 8_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		silent = outs[len(outs)-1].Silent
+	}
+	b.ReportMetric(float64(silent), "silent-corruptions")
+}
+
+// BenchmarkE10HalfDouble regenerates the mitigation-relay comparison.
+func BenchmarkE10HalfDouble(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.E10HalfDouble(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationUncoreMove contrasts page-migration cost with and
+// without the §4.2 uncore move instruction.
+func BenchmarkAblationUncoreMove(b *testing.B) {
+	for _, uncore := range []bool{false, true} {
+		name := "kernel-copy"
+		if uncore {
+			name = "uncore-move"
+		}
+		b.Run(name, func(b *testing.B) {
+			m, err := core.NewMachine(core.DefaultSpec())
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := m.Kernel.CreateDomain("d", false, false)
+			// A fixed pool: every migration frees its old frame, so the
+			// footprint stays constant no matter how large b.N grows.
+			const pool = 64
+			if _, err := m.Kernel.AllocPages(d.ID, 0, pool); err != nil {
+				b.Fatal(err)
+			}
+			if uncore {
+				m.Kernel.EnableUncoreMove()
+			}
+			var cycles uint64
+			now := uint64(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := m.Kernel.MigratePage(d.ID, uint64(i%pool), now)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Completion - now
+				now = res.Completion
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "sim-cycles/migration")
+		})
+	}
+}
+
+// BenchmarkAblationPagePolicy contrasts open- vs closed-page row-buffer
+// policy under an attack run: closed-page slows the attacker (every
+// access activates — but so does every benign access).
+func BenchmarkAblationPagePolicy(b *testing.B) {
+	for _, closed := range []bool{false, true} {
+		name := "open-page"
+		if closed {
+			name = "closed-page"
+		}
+		b.Run(name, func(b *testing.B) {
+			var acts uint64
+			for i := 0; i < b.N; i++ {
+				spec := core.DefaultSpec()
+				spec.Profile = dram.LPDDR4()
+				spec.ClosedPage = closed
+				out, err := harness.RunAttack(spec, defense.None{},
+					attack.Kind{Name: "double-sided", Sided: 2},
+					harness.AttackOpts{Horizon: 1_000_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				acts += uint64(out.Result.Stats.Counter("mc.acts"))
+			}
+			b.ReportMetric(float64(acts)/float64(b.N), "acts/run")
+		})
+	}
+}
+
+// BenchmarkAblationDetectorRandomization contrasts fixed vs randomized
+// counter resets against the evasive attacker (E6's core ablation).
+func BenchmarkAblationDetectorRandomization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := harness.E6ActInterrupt(2_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Simulator hot-path micro-benchmarks ---
+
+func BenchmarkDRAMActivate(b *testing.B) {
+	m, err := dram.NewModule(dram.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Activate(i%8, (i*7)%1024, uint64(i), -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMCServeRowHit(b *testing.B) {
+	mod, err := dram.NewModule(dram.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc, err := memctrl.NewController(memctrl.Config{
+		Mapper: addr.NewLineInterleave(mod.Geometry()), DRAM: mod, OpenPage: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mc.ServeRequest(memctrl.Request{Line: uint64(i % 8)}, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = res.Completion
+	}
+}
+
+func BenchmarkMCServeRowConflict(b *testing.B) {
+	mod, err := dram.NewModule(dram.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mc, err := memctrl.NewController(memctrl.Config{
+		Mapper: addr.NewLineInterleave(mod.Geometry()), DRAM: mod, OpenPage: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := mod.Geometry()
+	stripe := uint64(g.Banks * g.ColumnsPerRow)
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mc.ServeRequest(memctrl.Request{Line: uint64(i%2) * stripe}, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = res.Completion
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c, err := cache.New(cache.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i%100000), i%3 == 0)
+	}
+}
+
+func BenchmarkMapperLineInterleave(b *testing.B) {
+	m := addr.NewLineInterleave(dram.DefaultGeometry())
+	total := m.Geometry().TotalLines()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := m.Map(uint64(i) % total)
+		if m.Unmap(d) != uint64(i)%total {
+			b.Fatal("bijection broken")
+		}
+	}
+}
+
+func BenchmarkMapperSubarrayIsolated(b *testing.B) {
+	g := dram.DefaultGeometry()
+	part, err := addr.NewPartition(g, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := addr.NewSubarrayIsolated(addr.NewLineInterleave(g), part)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := g.TotalLines()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := m.Map(uint64(i) % total)
+		if m.Unmap(d) != uint64(i)%total {
+			b.Fatal("bijection broken")
+		}
+	}
+}
+
+// BenchmarkHammerThroughput measures simulated attacker throughput — how
+// many hammering accesses per wall-clock second the simulator sustains.
+func BenchmarkHammerThroughput(b *testing.B) {
+	spec := core.DefaultSpec()
+	m, err := core.NewMachine(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := m.Kernel.CreateDomain("attacker", false, false)
+	if _, err := m.Kernel.AllocPages(d.ID, 0, 8); err != nil {
+		b.Fatal(err)
+	}
+	g := spec.Geometry
+	stripe := uint64(g.Banks * g.ColumnsPerRow)
+	now := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.MC.ServeRequest(memctrl.Request{Line: uint64(i%2) * 2 * stripe, Domain: d.ID}, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = res.Completion
+	}
+}

@@ -1,0 +1,94 @@
+// Command hammerbench regenerates every experiment table of the
+// "Stop! Hammer Time" reproduction (E1-E10 in DESIGN.md): the protection
+// matrix, the interleaving-throughput comparison, the density-scaling
+// sweep, defense overheads, the TRRespass sweep, the ACT-interrupt
+// comparison, the refresh-path micro-benchmark, the enclave semantics,
+// the SECDED ECC outcome hierarchy and the Half-Double relay.
+//
+// Usage:
+//
+//	hammerbench [-experiment all|e1|..|e10] [-horizon N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hammertime/internal/harness"
+	"hammertime/internal/report"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (all, e1..e10)")
+		horizon    = flag.Uint64("horizon", 0, "simulation horizon in cycles (0 = per-experiment default)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	if err := run(strings.ToLower(*experiment), *horizon, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "hammerbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, horizon uint64, csv bool) error {
+	type exp struct {
+		id  string
+		gen func() (*report.Table, error)
+	}
+	experiments := []exp{
+		{"e1", func() (*report.Table, error) {
+			return harness.E1Matrix(nil, 12, harness.AttackOpts{Horizon: horizon})
+		}},
+		{"e2", func() (*report.Table, error) {
+			tb, _, err := harness.E2Interleaving(horizon)
+			return tb, err
+		}},
+		{"e3", func() (*report.Table, error) { return harness.E3DensityScaling(horizon) }},
+		{"e4", func() (*report.Table, error) { return harness.E4Overhead(horizon, nil) }},
+		{"e5", func() (*report.Table, error) { return harness.E5TRRBypass(horizon, nil, nil) }},
+		{"e6", func() (*report.Table, error) {
+			tb, _, err := harness.E6ActInterrupt(horizon)
+			return tb, err
+		}},
+		{"e7", func() (*report.Table, error) {
+			tb, _, err := harness.E7RefreshPath()
+			return tb, err
+		}},
+		{"e8", func() (*report.Table, error) { return harness.E8Enclave(horizon) }},
+		{"e9", func() (*report.Table, error) {
+			tb, _, err := harness.E9ECC(nil)
+			return tb, err
+		}},
+		{"e10", func() (*report.Table, error) { return harness.E10HalfDouble(horizon) }},
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if experiment != "all" && experiment != e.id {
+			continue
+		}
+		ran = true
+		tb, err := e.gen()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		if csv {
+			if err := tb.RenderCSV(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			continue
+		}
+		if err := tb.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want all or e1..e10)", experiment)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		if err := devnull.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	silence(t)
+	// E7 is the cheapest experiment; both render paths.
+	if err := run("e7", 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("e7", 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithHorizonOverride(t *testing.T) {
+	silence(t)
+	if err := run("e8", 1_000_000, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	silence(t)
+	if err := run("e99", 0, false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		if err := devnull.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestRunProbesBoundary(t *testing.T) {
+	silence(t)
+	// Rows 62..66 straddle the 63/64 subarray boundary; LPDDR4's MAC is
+	// small enough to keep the probe quick.
+	if err := run(0, 62, 66, "lpddr4", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	silence(t)
+	if err := run(0, 10, 5, "lpddr4", 1); err == nil {
+		t.Fatal("inverted row range accepted")
+	}
+	if err := run(0, 0, 4, "ddr9", 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

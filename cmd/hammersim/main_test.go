@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// silence redirects stdout during a test body so table output does not
+// pollute the test log.
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		if err := devnull.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestAttackByName(t *testing.T) {
+	cases := map[string]struct {
+		sided int
+		dma   bool
+		err   bool
+	}{
+		"single":  {sided: 1},
+		"double":  {sided: 2},
+		"dma":     {sided: 2, dma: true},
+		"many:12": {sided: 12},
+		"many:2":  {err: true},
+		"many:x":  {err: true},
+		"bogus":   {err: true},
+	}
+	for name, want := range cases {
+		kind, err := attackByName(name)
+		if want.err {
+			if err == nil {
+				t.Errorf("%s: expected error", name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if kind.Sided != want.sided || kind.DMA != want.dma {
+			t.Errorf("%s: got %+v", name, kind)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"ddr3", "ddr4-old", "ddr4-new", "lpddr4", "future"} {
+		if _, err := profileByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := profileByName("ddr9"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	silence(t)
+	if err := run("none", "double", "lpddr4", 1_000_000, 3, 48, 1, false, true, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("subarray", "dma", "lpddr4", 1_000_000, 3, 48, 1, false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("none", "double", "lpddr4", 500_000, 2, 16, 1, true, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	silence(t)
+	if err := run("bogus", "double", "lpddr4", 1000, 3, 16, 1, false, false, "", ""); err == nil {
+		t.Fatal("unknown defense accepted")
+	}
+	if err := run("none", "bogus", "lpddr4", 1000, 3, 16, 1, false, false, "", ""); err == nil {
+		t.Fatal("unknown attack accepted")
+	}
+	if err := run("none", "double", "bogus", 1000, 3, 16, 1, false, false, "", ""); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestRunTraceRecordReplay(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	out := dir + "/attack.jsonl"
+	if err := run("none", "double", "lpddr4", 500_000, 2, 16, 1, false, false, out, ""); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace not written: %v", err)
+	}
+	// Replay the recorded attack against a different defense.
+	if err := run("swrefresh", "double", "lpddr4", 500_000, 2, 16, 1, false, false, "", out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hammertime/internal/trace"
+)
+
+func TestGenThenStats(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.jsonl")
+	if err := genCmd([]string{"-workload", "zipf", "-count", "5000", "-lines", "4096", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5000 {
+		t.Fatalf("events = %d", len(events))
+	}
+
+	// stats path (stdout silenced).
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+	if err := statsCmd([]string{"-in", out, "-top", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenAllWorkloads(t *testing.T) {
+	dir := t.TempDir()
+	for _, wl := range []string{"stream", "random", "chase"} {
+		out := filepath.Join(dir, wl+".jsonl")
+		if err := genCmd([]string{"-workload", wl, "-count", "100", "-lines", "64", "-out", out}); err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+	}
+	if err := genCmd([]string{"-workload", "bogus", "-out", filepath.Join(dir, "x")}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestStatsMissingFile(t *testing.T) {
+	if err := statsCmd([]string{"-in", "/nonexistent/trace.jsonl"}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module hammertime
+
+go 1.22

@@ -1,0 +1,93 @@
+package attack
+
+import (
+	"testing"
+
+	"hammertime/internal/core"
+	"hammertime/internal/dram"
+)
+
+// probeSpec keeps the MAC tiny so probes are fast and refresh-sweep
+// interference is negligible.
+func probeSpec(radius int) core.MachineSpec {
+	spec := core.DefaultSpec()
+	spec.Profile = dram.DisturbanceProfile{
+		Name: "probe-test", MAC: 200, BlastRadius: radius, DistanceDecay: 0.5, FlipProb: 0.05,
+	}
+	return spec
+}
+
+// singleTenant allocates every frame the prober might need to one domain
+// so it has visibility into all rows of the probed range.
+func singleTenant(t *testing.T, spec core.MachineSpec, pages int) (*core.Machine, int) {
+	t.Helper()
+	m, err := core.NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Kernel.CreateDomain("prober", false, false)
+	if _, err := m.Kernel.AllocPages(d.ID, 0, pages); err != nil {
+		t.Fatal(err)
+	}
+	return m, d.ID
+}
+
+func TestProbePairDetectsAdjacency(t *testing.T) {
+	m, domain := singleTenant(t, probeSpec(2), 2048)
+	p := NewProber(m, domain)
+	adjacent, err := p.ProbePair(0, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adjacent {
+		t.Fatal("adjacent rows not detected")
+	}
+	far, err := p.ProbePair(0, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far {
+		t.Fatal("rows 10 and 20 reported adjacent")
+	}
+}
+
+func TestProbeDetectsSubarrayBoundary(t *testing.T) {
+	m, domain := singleTenant(t, probeSpec(2), 2048)
+	p := NewProber(m, domain)
+	// Rows 60..67 straddle the subarray boundary at 63/64.
+	boundaries, err := p.InferSubarrayBoundaries(0, 60, 67)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boundaries) != 1 || boundaries[0] != 63 {
+		t.Fatalf("boundaries = %v, want [63]", boundaries)
+	}
+}
+
+func TestProbeInfersBlastRadius(t *testing.T) {
+	for _, radius := range []int{1, 2, 3} {
+		m, domain := singleTenant(t, probeSpec(radius), 2048)
+		p := NewProber(m, domain)
+		// Probe from an interior row of subarray 1.
+		got, err := p.InferBlastRadius(0, 80, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != radius {
+			t.Fatalf("inferred radius %d, want %d", got, radius)
+		}
+	}
+}
+
+func TestProbeRequiresVisibility(t *testing.T) {
+	// Domain owns nothing: pattern writing must fail loudly.
+	m, err := core.NewMachine(probeSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Kernel.CreateDomain("blind", false, false)
+	p := NewProber(m, d.ID)
+	if _, err := p.ProbePair(0, 10, 11); err == nil {
+		t.Fatal("probe without visibility succeeded")
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"hammertime/internal/sim"
+)
+
+// RunResult summarizes one simulation run.
+type RunResult struct {
+	// Horizon is the requested simulation length in cycles.
+	Horizon uint64
+	// Steps counts completed actions per agent (same order as passed,
+	// daemons appended).
+	Steps []uint64
+	// Flips and CrossFlips are the machine's cumulative counts at the end
+	// of the run.
+	Flips      uint64
+	CrossFlips uint64
+	// Stats merges the DRAM, controller and kernel stats registries.
+	Stats sim.Stats
+}
+
+// Throughput returns agent i's completed steps per kilocycle.
+func (r RunResult) Throughput(i int) float64 {
+	if r.Horizon == 0 {
+		return 0
+	}
+	return float64(r.Steps[i]) * 1000 / float64(r.Horizon)
+}
+
+// Run simulates the agents (plus the machine's daemons) until every agent
+// finishes or the horizon is reached. Scheduling is deterministic:
+// the earliest-ready agent steps next, with index order breaking ties.
+func (m *Machine) Run(agents []Agent, horizon uint64) (RunResult, error) {
+	if horizon == 0 {
+		return RunResult{}, fmt.Errorf("core: run needs a horizon > 0")
+	}
+	all := append(append([]Agent(nil), agents...), m.daemons...)
+	next := make([]uint64, len(all))
+	active := make([]bool, len(all))
+	steps := make([]uint64, len(all))
+	for i := range all {
+		active[i] = !all[i].Done()
+	}
+	for {
+		// Pick the earliest-ready active agent.
+		idx := -1
+		for i := range all {
+			if active[i] && (idx < 0 || next[i] < next[idx]) {
+				idx = i
+			}
+		}
+		if idx < 0 || next[idx] >= horizon {
+			break
+		}
+		n, ok, err := all[idx].Step(next[idx])
+		if err != nil {
+			return RunResult{}, fmt.Errorf("core: agent %d: %w", idx, err)
+		}
+		if !ok {
+			active[idx] = false
+			continue
+		}
+		steps[idx]++
+		if n <= next[idx] {
+			n = next[idx] + 1 // guarantee forward progress
+		}
+		next[idx] = n
+	}
+	m.MC.AdvanceTo(horizon)
+
+	res := RunResult{
+		Horizon:    horizon,
+		Steps:      steps,
+		Flips:      m.Flips(),
+		CrossFlips: m.CrossDomainFlips(),
+	}
+	res.Stats.Merge(m.DRAM.Stats())
+	res.Stats.Merge(m.MC.Stats())
+	res.Stats.Merge(m.Kernel.Stats())
+	return res, nil
+}

@@ -1,0 +1,258 @@
+package defense
+
+import (
+	"testing"
+
+	"hammertime/internal/core"
+	"hammertime/internal/dram"
+	"hammertime/internal/memctrl"
+)
+
+func TestRegistryRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		d, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if d.Name() == "" {
+			t.Fatalf("%q has empty display name", name)
+		}
+		spec := core.DefaultSpec()
+		if err := d.Configure(&spec); err != nil {
+			t.Fatalf("%q configure: %v", name, err)
+		}
+		if _, err := core.BuildWithDefense(core.DefaultSpec(), d); err != nil {
+			t.Fatalf("%q build: %v", name, err)
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("unknown defense accepted")
+	}
+}
+
+func TestTaxonomyAssignments(t *testing.T) {
+	want := map[string]core.Class{
+		"none":        core.ClassNone,
+		"trr":         core.ClassInDRAM,
+		"para":        core.ClassInMC,
+		"graphene":    core.ClassInMC,
+		"blockhammer": core.ClassFrequency,
+		"zebram":      core.ClassIsolation,
+		"bankpart":    core.ClassIsolation,
+		"subarray":    core.ClassIsolation,
+		"actremap":    core.ClassFrequency,
+		"actlock":     core.ClassFrequency,
+		"swrefresh":   core.ClassRefresh,
+		"anvil":       core.ClassRefresh,
+	}
+	for name, cls := range want {
+		d, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Class() != cls {
+			t.Errorf("%s class = %s, want %s", name, d.Class(), cls)
+		}
+	}
+}
+
+func TestConfigureMutations(t *testing.T) {
+	spec := core.DefaultSpec()
+	if err := (TRR{Config: dram.DefaultTRR()}).Configure(&spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.TRR == nil || spec.TRR.RefreshRadius != spec.Profile.BlastRadius {
+		t.Fatalf("TRR config: %+v", spec.TRR)
+	}
+
+	spec = core.DefaultSpec()
+	if err := (PARA{Prob: 0.01}).Configure(&spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.PARAProb != 0.01 || spec.PARARadius != spec.Profile.BlastRadius {
+		t.Fatalf("PARA spec: p=%g r=%d", spec.PARAProb, spec.PARARadius)
+	}
+
+	spec = core.DefaultSpec()
+	if err := (Graphene{}).Configure(&spec); err != nil {
+		t.Fatal(err)
+	}
+	wantEntries := int((spec.Timing.MaxActsPerWindowPerBank() + spec.Profile.MAC/4 - 1) / (spec.Profile.MAC / 4))
+	if spec.Graphene == nil || spec.Graphene.Entries != wantEntries {
+		t.Fatalf("graphene spec: %+v, want %d entries", spec.Graphene, wantEntries)
+	}
+
+	spec = core.DefaultSpec()
+	if err := (BankPartition{Partitions: 4}).Configure(&spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Interleave != core.InterleaveRowRegion || spec.Alloc != core.AllocBankAware {
+		t.Fatal("bank partition did not disable interleaving")
+	}
+
+	spec = core.DefaultSpec()
+	if err := (SubarrayIsolation{Groups: 4, Enforce: true}).Configure(&spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.SubarrayGroups != 4 || spec.Alloc != core.AllocSubarrayAware || !spec.EnforceDomains {
+		t.Fatal("subarray isolation spec wrong")
+	}
+
+	if err := (SubarrayIsolation{Groups: 0}).Configure(&spec); err == nil {
+		t.Fatal("0 groups accepted")
+	}
+	if err := (BankPartition{}).Configure(&spec); err == nil {
+		t.Fatal("0 partitions accepted")
+	}
+}
+
+func TestGrapheneSRAMCostGrowsAsMACShrinks(t *testing.T) {
+	// The §3 scaling story: table size ~ ACT budget / (MAC/4).
+	var prev int
+	for i, prof := range dram.Generations() {
+		spec := core.DefaultSpec()
+		spec.Profile = prof
+		if err := (Graphene{}).Configure(&spec); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && spec.Graphene.Entries <= prev {
+			t.Fatalf("%s entries %d not above previous %d", prof.Name, spec.Graphene.Entries, prev)
+		}
+		prev = spec.Graphene.Entries
+	}
+}
+
+func TestDetectorFlagsDominantRow(t *testing.T) {
+	m, err := core.NewMachine(core.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := newDetector(m, false)
+	flagged := 0
+	for i := 0; i < 10; i++ {
+		f, _ := det.observe(memctrl.ACTEvent{Cycle: uint64(i), HasAddr: true, Bank: 0, Row: 5})
+		if f {
+			flagged++
+		}
+	}
+	if flagged != 2 { // 10 events / 4-hit threshold, count resets on flag
+		t.Fatalf("flagged %d times, want 2", flagged)
+	}
+}
+
+func TestDetectorIgnoresLegacyEvents(t *testing.T) {
+	m, err := core.NewMachine(core.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := newDetector(m, false)
+	for i := 0; i < 100; i++ {
+		if f, _ := det.observe(memctrl.ACTEvent{Cycle: uint64(i), HasAddr: false}); f {
+			t.Fatal("legacy (address-less) event flagged a row — §4.2 says it cannot")
+		}
+	}
+}
+
+func TestDetectorWindowReset(t *testing.T) {
+	m, err := core.NewMachine(core.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := newDetector(m, false)
+	w := m.Spec.Timing.RefreshWindow
+	// Three hits, then a window boundary, then three hits: never flagged.
+	for i := 0; i < 3; i++ {
+		if f, _ := det.observe(memctrl.ACTEvent{Cycle: uint64(i), HasAddr: true, Row: 5}); f {
+			t.Fatal("flagged too early")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if f, _ := det.observe(memctrl.ACTEvent{Cycle: w + uint64(i), HasAddr: true, Row: 5}); f {
+			t.Fatal("evidence survived the refresh-window boundary")
+		}
+	}
+}
+
+func TestDetectorRandomizedReset(t *testing.T) {
+	m, err := core.NewMachine(core.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := newDetector(m, true)
+	distinct := make(map[uint64]bool)
+	for i := 0; i < 50; i++ {
+		_, reset := det.observe(memctrl.ACTEvent{Cycle: uint64(i), HasAddr: true, Row: i})
+		if reset >= det.sampleEvery {
+			t.Fatalf("reset %d not below threshold %d", reset, det.sampleEvery)
+		}
+		distinct[reset] = true
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("randomized resets produced only %d distinct values", len(distinct))
+	}
+}
+
+func TestACTLockAccounting(t *testing.T) {
+	d := &ACTLock{}
+	spec := core.DefaultSpec()
+	if err := d.Configure(&spec); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Randomize {
+		t.Fatal("randomization not defaulted on")
+	}
+	m, err := core.NewMachine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Attach(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Daemons()) != 1 {
+		t.Fatal("unlock daemon not registered")
+	}
+}
+
+func TestStackComposesLayers(t *testing.T) {
+	sub, err := New("subarray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	swr, err := New("swrefresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStack(sub, swr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "subarray(4,enforced)+swrefresh" {
+		t.Fatalf("stack name = %s", s.Name())
+	}
+	if s.Class() != core.ClassIsolation {
+		t.Fatalf("stack class = %s", s.Class())
+	}
+	m, err := core.BuildWithDefense(core.DefaultSpec(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both layers took effect: subarray allocation policy and the ACT
+	// counter handler.
+	if m.Spec.SubarrayGroups != 4 || m.Spec.Alloc != core.AllocSubarrayAware {
+		t.Fatal("isolation layer not configured")
+	}
+	if m.MC.ACTOverflows() != 0 {
+		t.Fatal("unexpected overflows before any traffic")
+	}
+}
+
+func TestStackRejectsConflictingLayers(t *testing.T) {
+	if _, err := NewStack(); err == nil {
+		t.Fatal("empty stack accepted")
+	}
+	a, _ := New("actremap")
+	b, _ := New("swrefresh")
+	if _, err := NewStack(a, b); err == nil {
+		t.Fatal("two interrupt-driven layers accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package defense
+
+import (
+	"hammertime/internal/core"
+	"hammertime/internal/memctrl"
+	"hammertime/internal/sim"
+)
+
+// detector is the shared software-side aggressor identifier built on the
+// precise ACT interrupt (§4.2): the channel-wide ACT counter overflows
+// every ~SampleEvery activations and reports the physical address of the
+// latest ACT-triggering access. Rows that appear in Hits consecutive-ish
+// events within a refresh window are flagged as probable aggressors.
+//
+// The counter reset value is randomized around SampleEvery so an attacker
+// cannot phase-lock its accesses to dodge sampling (§4.2).
+type detector struct {
+	sampleEvery uint64
+	hits        uint64
+	window      uint64
+	randomize   bool
+	rng         *sim.RNG
+
+	counts    map[[2]int]uint64
+	windowEnd uint64
+	events    uint64
+	flagged   uint64
+}
+
+// detectorParams derives sampling parameters from the machine: sample
+// every MAC/16 ACTs, flag after 4 hits — so a row responsible for even a
+// quarter of channel traffic is flagged well before its neighbors absorb
+// MAC activations.
+func newDetector(m *core.Machine, randomize bool) *detector {
+	se := m.Spec.Profile.MAC / 16
+	if se == 0 {
+		se = 1
+	}
+	return &detector{
+		sampleEvery: se,
+		hits:        4,
+		window:      m.Spec.Timing.RefreshWindow,
+		randomize:   randomize,
+		rng:         m.RNG.Fork(),
+		counts:      make(map[[2]int]uint64),
+	}
+}
+
+// threshold returns the initial ACT-counter threshold.
+func (d *detector) threshold() uint64 { return d.sampleEvery }
+
+// observe consumes one precise ACT event. It returns flagged=true when the
+// event's row has crossed the hit threshold (the caller then responds and
+// the row's count resets), plus the counter reset value to install.
+func (d *detector) observe(ev memctrl.ACTEvent) (flagged bool, resetTo uint64) {
+	d.events++
+	if d.windowEnd == 0 {
+		d.windowEnd = d.window
+	}
+	for ev.Cycle >= d.windowEnd {
+		// New refresh window: all rows were (or will soon be) refreshed
+		// by the sweep; restart the evidence.
+		d.counts = make(map[[2]int]uint64)
+		d.windowEnd += d.window
+	}
+	resetTo = 0
+	if d.randomize {
+		// Reset to a random fraction of the threshold: the next overflow
+		// comes after a jittered number of ACTs.
+		resetTo = d.rng.Uint64n(d.sampleEvery / 2)
+	}
+	if !ev.HasAddr {
+		// Legacy event: no address, nothing to attribute (§4.2 problem).
+		return false, resetTo
+	}
+	key := [2]int{ev.Bank, ev.Row}
+	d.counts[key]++
+	if d.counts[key] >= d.hits {
+		delete(d.counts, key)
+		d.flagged++
+		return true, resetTo
+	}
+	return false, resetTo
+}

@@ -1,0 +1,227 @@
+package defense
+
+import (
+	"errors"
+	"fmt"
+
+	"hammertime/internal/addr"
+	"hammertime/internal/cache"
+	"hammertime/internal/core"
+	"hammertime/internal/memctrl"
+)
+
+// ACTRemap is the paper's §4.2 "ACT wear-leveling" software defense on
+// top of the precise ACT interrupt: when the interrupt identifies a
+// probable aggressor row, the host migrates the backing page to a new
+// physical location. The aggressor's virtual address now maps elsewhere,
+// so no physical row ever absorbs MAC activations. Because the memory
+// controller sees DMA activations too, this also stops DMA hammering —
+// unlike counter-sampling defenses.
+type ACTRemap struct {
+	// Randomize jitters the counter reset value (§4.2 anti-evasion).
+	// Enabled by default via New; zero value keeps it off for ablation.
+	Randomize bool
+	// UncoreMove uses the §4.2 proposed uncore move instruction for the
+	// page copy: the controller moves lines through its internal buffers,
+	// overlapping the read and write instead of round-tripping each line.
+	UncoreMove bool
+
+	migrations, failures uint64
+}
+
+// Name implements core.Defense.
+func (d *ACTRemap) Name() string {
+	if d.UncoreMove {
+		return "actremap(uncore-move)"
+	}
+	return "actremap"
+}
+
+// Class implements core.Defense.
+func (*ACTRemap) Class() core.Class { return core.ClassFrequency }
+
+// Configure implements core.Defense.
+func (d *ACTRemap) Configure(*core.MachineSpec) error {
+	d.Randomize = true
+	return nil
+}
+
+// Attach implements core.Defense.
+func (d *ACTRemap) Attach(m *core.Machine) error {
+	m.Kernel.EnableRandomizedMigration(m.RNG.Fork())
+	if d.UncoreMove {
+		m.Kernel.EnableUncoreMove()
+	}
+	det := newDetector(m, d.Randomize)
+	handler := func(ev memctrl.ACTEvent) uint64 {
+		flagged, reset := det.observe(ev)
+		if flagged {
+			domain, vpn, ok := m.Kernel.VPNOfLine(ev.Line)
+			if ok {
+				if _, err := m.Kernel.MigratePage(domain, vpn, ev.Cycle); err != nil {
+					d.failures++
+				} else {
+					d.migrations++
+				}
+			}
+		}
+		return reset
+	}
+	return m.MC.EnableACTCounter(true, det.threshold(), handler)
+}
+
+// Migrations returns successful and failed wear-leveling migrations.
+func (d *ACTRemap) Migrations() (ok, failed uint64) { return d.migrations, d.failures }
+
+// ACTLock is the paper's §4.2 cache-line-locking defense: a flagged
+// aggressor line is pinned into the LLC for the rest of the refresh
+// window, so the attacker's accesses hit cache and generate no further
+// activations. When the per-set lock budget is exhausted the defense
+// falls back to page migration, exactly as the paper prescribes.
+//
+// Known limitation (inherent to the mechanism, not the model): locking
+// pins the reported line; an attacker rotating across many lines of the
+// same row dilutes it toward the migration fallback.
+type ACTLock struct {
+	Randomize bool
+
+	locks, fallbacks uint64
+	locked           []lockedLine
+	// rowFlags counts detector flags per (bank,row): a row that stays
+	// hot after a line was locked is being hammered through other lines
+	// (line rotation), so the defense escalates to data movement.
+	rowFlags map[[2]int]int
+	machine  *core.Machine
+}
+
+type lockedLine struct {
+	line  uint64
+	cycle uint64
+}
+
+// Name implements core.Defense.
+func (d *ACTLock) Name() string { return "actlock" }
+
+// Class implements core.Defense.
+func (*ACTLock) Class() core.Class { return core.ClassFrequency }
+
+// Configure implements core.Defense.
+func (d *ACTLock) Configure(*core.MachineSpec) error {
+	d.Randomize = true
+	return nil
+}
+
+// Attach implements core.Defense.
+func (d *ACTLock) Attach(m *core.Machine) error {
+	d.machine = m
+	d.rowFlags = make(map[[2]int]int)
+	m.Kernel.EnableRandomizedMigration(m.RNG.Fork())
+	det := newDetector(m, d.Randomize)
+	window := m.Spec.Timing.RefreshWindow
+	handler := func(ev memctrl.ACTEvent) uint64 {
+		flagged, reset := det.observe(ev)
+		if flagged {
+			d.rowFlags[[2]int{ev.Bank, ev.Row}]++
+			if d.rowFlags[[2]int{ev.Bank, ev.Row}] > 1 {
+				// The row stayed hot after locking: the attacker is
+				// rotating lines, and per-line responses cannot win that
+				// race. Evacuate every page with data in the row — the
+				// decisive form of the paper's movement fallback.
+				d.fallbacks += evacuateRow(m, ev.Bank, ev.Row, ev.Cycle)
+				return reset
+			}
+			if ev.Source.Kind == memctrl.SourceDMA {
+				// Cache locking cannot stop uncached DMA traffic; the
+				// interrupt's source field says so, and the defense
+				// adapts by moving the data instead — the software
+				// flexibility §4 argues for.
+				domain, vpn, ok := m.Kernel.VPNOfLine(ev.Line)
+				if ok {
+					if _, merr := m.Kernel.MigratePage(domain, vpn, ev.Cycle); merr == nil {
+						d.fallbacks++
+					}
+				}
+				return reset
+			}
+			err := m.Cache.Lock(ev.Line)
+			switch {
+			case err == nil:
+				d.locks++
+				d.locked = append(d.locked, lockedLine{line: ev.Line, cycle: ev.Cycle})
+			case errors.Is(err, cache.ErrLockBudget):
+				// Way budget full: fall back to data movement (§4.2).
+				domain, vpn, ok := m.Kernel.VPNOfLine(ev.Line)
+				if ok {
+					if _, merr := m.Kernel.MigratePage(domain, vpn, ev.Cycle); merr == nil {
+						d.fallbacks++
+					}
+				}
+			default:
+				// Locking failed for an unexpected reason; surface it as
+				// a defense misconfiguration.
+				panic(fmt.Sprintf("defense: actlock: %v", err))
+			}
+		}
+		return reset
+	}
+	if err := m.MC.EnableACTCounter(true, det.threshold(), handler); err != nil {
+		return err
+	}
+	// Locks are held "for the duration of a refresh interval" (§4.2):
+	// a daemon releases expired locks.
+	m.AddDaemon(&unlockDaemon{defense: d, interval: window / 8, window: window})
+	return nil
+}
+
+// Locks returns lock responses and migration fallbacks so far.
+func (d *ACTLock) Locks() (locks, fallbacks uint64) { return d.locks, d.fallbacks }
+
+// evacuateRow migrates every page owning data in (bank, row) to fresh
+// frames, returning how many pages moved. Allocation failures are
+// tolerated — partial evacuation still drains most of the row.
+func evacuateRow(m *core.Machine, bank, row int, cycle uint64) uint64 {
+	g := m.Mapper.Geometry()
+	seen := make(map[[2]uint64]bool) // (domain, vpn)
+	var moved uint64
+	for col := 0; col < g.ColumnsPerRow; col++ {
+		line := m.Mapper.Unmap(addr.DDR{Bank: bank, Row: row, Column: col})
+		domain, vpn, ok := m.Kernel.VPNOfLine(line)
+		if !ok {
+			continue
+		}
+		key := [2]uint64{uint64(domain), vpn}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, err := m.Kernel.MigratePage(domain, vpn, cycle); err == nil {
+			moved++
+		}
+	}
+	return moved
+}
+
+// unlockDaemon periodically releases locks older than one refresh window.
+type unlockDaemon struct {
+	defense  *ACTLock
+	interval uint64
+	window   uint64
+}
+
+// Done implements core.Agent; the daemon runs for the whole simulation.
+func (u *unlockDaemon) Done() bool { return false }
+
+// Step implements core.Agent.
+func (u *unlockDaemon) Step(now uint64) (uint64, bool, error) {
+	d := u.defense
+	keep := d.locked[:0]
+	for _, l := range d.locked {
+		if now >= l.cycle+u.window {
+			d.machine.Cache.Unlock(l.line)
+		} else {
+			keep = append(keep, l)
+		}
+	}
+	d.locked = keep
+	return now + u.interval, true, nil
+}

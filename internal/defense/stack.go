@@ -1,0 +1,69 @@
+package defense
+
+import (
+	"fmt"
+	"strings"
+
+	"hammertime/internal/core"
+)
+
+// Stack composes several defenses into one — the defense-in-depth
+// deployment §5 points toward, where software, CPU and in-DRAM
+// mitigations "work in tandem". Configure and Attach run in order; layers
+// must not claim the same exclusive hardware resource (the ACT-counter
+// handler is the one such resource, so at most one interrupt-driven layer
+// may be stacked).
+type Stack struct {
+	layers []core.Defense
+}
+
+// NewStack composes the given layers.
+func NewStack(layers ...core.Defense) (*Stack, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("defense: stack needs at least one layer")
+	}
+	interruptDriven := 0
+	for _, l := range layers {
+		switch l.(type) {
+		case *ACTRemap, *ACTLock, *SWRefresh:
+			interruptDriven++
+		}
+	}
+	if interruptDriven > 1 {
+		return nil, fmt.Errorf("defense: stack has %d interrupt-driven layers, the ACT counter supports one", interruptDriven)
+	}
+	return &Stack{layers: append([]core.Defense(nil), layers...)}, nil
+}
+
+// Name implements core.Defense.
+func (s *Stack) Name() string {
+	names := make([]string, len(s.layers))
+	for i, l := range s.layers {
+		names[i] = l.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Class implements core.Defense: a stack spans classes; it reports the
+// first layer's class (the primary mechanism).
+func (s *Stack) Class() core.Class { return s.layers[0].Class() }
+
+// Configure implements core.Defense.
+func (s *Stack) Configure(spec *core.MachineSpec) error {
+	for _, l := range s.layers {
+		if err := l.Configure(spec); err != nil {
+			return fmt.Errorf("defense: stack layer %s: %w", l.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Attach implements core.Defense.
+func (s *Stack) Attach(m *core.Machine) error {
+	for _, l := range s.layers {
+		if err := l.Attach(m); err != nil {
+			return fmt.Errorf("defense: stack layer %s: %w", l.Name(), err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package dma
+
+import (
+	"testing"
+
+	"hammertime/internal/addr"
+	"hammertime/internal/cpu"
+	"hammertime/internal/dram"
+	"hammertime/internal/memctrl"
+)
+
+func controller(t *testing.T) *memctrl.Controller {
+	t.Helper()
+	mod, err := dram.NewModule(dram.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := memctrl.NewController(memctrl.Config{
+		Mapper:   addr.NewLineInterleave(mod.Geometry()),
+		DRAM:     mod,
+		OpenPage: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc
+}
+
+func prog(lines []uint64) cpu.Program {
+	i := 0
+	return cpu.ProgramFunc(func() (cpu.Access, bool) {
+		if i >= len(lines) {
+			return cpu.Access{}, false
+		}
+		l := lines[i]
+		i++
+		return cpu.Access{Line: l}, true
+	})
+}
+
+func TestNewDeviceValidates(t *testing.T) {
+	mc := controller(t)
+	if _, err := NewDevice(0, 1, nil, mc); err == nil {
+		t.Fatal("nil program accepted")
+	}
+	if _, err := NewDevice(0, 1, prog(nil), nil); err == nil {
+		t.Fatal("nil controller accepted")
+	}
+}
+
+func TestDeviceBypassesCache(t *testing.T) {
+	mc := controller(t)
+	// The same line twice: a cached path would hit; DMA must reach the
+	// controller both times.
+	dev, err := NewDevice(0, 2, prog([]uint64{5, 5}), mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := uint64(0)
+	for {
+		next, ok, err := dev.Step(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		now = next
+	}
+	if got := mc.Stats().Counter("mc.requests"); got != 2 {
+		t.Fatalf("controller saw %d requests, want 2", got)
+	}
+	if got := mc.Stats().Counter("mc.dma_requests"); got != 2 {
+		t.Fatalf("dma requests = %d, want 2", got)
+	}
+	if dev.Accesses() != 2 || !dev.Done() {
+		t.Fatalf("device accesses=%d done=%v", dev.Accesses(), dev.Done())
+	}
+}
+
+func TestDeviceTagsDomainAndSource(t *testing.T) {
+	mc := controller(t)
+	var seen []memctrl.ACTEvent
+	if err := mc.EnableACTCounter(true, 1, func(ev memctrl.ACTEvent) uint64 {
+		seen = append(seen, ev)
+		return 0
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewDevice(3, 9, prog([]uint64{0}), mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dev.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 {
+		t.Fatalf("ACT events = %d", len(seen))
+	}
+	if seen[0].Domain != 9 || seen[0].Source.Kind != memctrl.SourceDMA || seen[0].Source.ID != 3 {
+		t.Fatalf("event attribution wrong: %+v", seen[0])
+	}
+}

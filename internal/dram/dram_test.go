@@ -1,0 +1,600 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testModule(t *testing.T, prof DisturbanceProfile) *Module {
+	t.Helper()
+	m, err := NewModule(Config{Profile: prof, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// smallMAC is a profile with a tiny MAC so tests can cross it quickly.
+func smallMAC() DisturbanceProfile {
+	return DisturbanceProfile{Name: "test", MAC: 100, BlastRadius: 2, DistanceDecay: 0.5, FlipProb: 1}
+}
+
+func TestGeometryDerivedSizes(t *testing.T) {
+	g := DefaultGeometry()
+	if g.RowsPerBank() != 16*64 {
+		t.Fatalf("rows per bank = %d", g.RowsPerBank())
+	}
+	if g.TotalRows() != 8*16*64 {
+		t.Fatalf("total rows = %d", g.TotalRows())
+	}
+	if g.RowBytes() != 8192 {
+		t.Fatalf("row bytes = %d, want 8192 (the 8KB row of §2.1)", g.RowBytes())
+	}
+	if g.TotalBytes() != 64<<20 {
+		t.Fatalf("total bytes = %d, want 64 MiB", g.TotalBytes())
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	cases := []Geometry{
+		{Banks: 0, SubarraysPerBank: 1, RowsPerSubarray: 1, ColumnsPerRow: 1, LineBytes: 1},
+		{Banks: 1, SubarraysPerBank: 0, RowsPerSubarray: 1, ColumnsPerRow: 1, LineBytes: 1},
+		{Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 0, ColumnsPerRow: 1, LineBytes: 1},
+		{Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 1, ColumnsPerRow: 0, LineBytes: 1},
+		{Banks: 1, SubarraysPerBank: 1, RowsPerSubarray: 1, ColumnsPerRow: 1, LineBytes: 0},
+	}
+	for i, g := range cases {
+		if g.Validate() == nil {
+			t.Errorf("case %d: invalid geometry accepted: %+v", i, g)
+		}
+	}
+	if err := DefaultGeometry().Validate(); err != nil {
+		t.Errorf("default geometry rejected: %v", err)
+	}
+}
+
+func TestSubarrayBoundaries(t *testing.T) {
+	g := DefaultGeometry()
+	if g.SubarrayOf(0) != 0 || g.SubarrayOf(63) != 0 || g.SubarrayOf(64) != 1 {
+		t.Fatal("subarray boundaries wrong")
+	}
+	if g.SameSubarray(63, 64) {
+		t.Fatal("rows 63 and 64 must be in different subarrays")
+	}
+	if !g.SameSubarray(0, 63) {
+		t.Fatal("rows 0 and 63 must share a subarray")
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	if err := DDR4Timing().Validate(); err != nil {
+		t.Fatalf("default timing rejected: %v", err)
+	}
+	bad := DDR4Timing()
+	bad.TRC = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero TRC accepted")
+	}
+	bad = DDR4Timing()
+	bad.TREFI = bad.RefreshWindow
+	if bad.Validate() == nil {
+		t.Fatal("TREFI >= window accepted")
+	}
+}
+
+func TestTimingBudgets(t *testing.T) {
+	tm := DDR4Timing()
+	if got := tm.RefreshCommandsPerWindow(); got < 8000 || got > 8400 {
+		t.Fatalf("REFs per window = %d, want ~8192", got)
+	}
+	if got := tm.MaxActsPerWindowPerBank(); got != tm.RefreshWindow/tm.TRC {
+		t.Fatalf("ACT budget = %d", got)
+	}
+}
+
+func TestProfilesOrderedBySusceptibility(t *testing.T) {
+	gens := Generations()
+	for i := 1; i < len(gens); i++ {
+		if gens[i].MAC >= gens[i-1].MAC {
+			t.Errorf("%s MAC %d not below %s MAC %d (the §3 density trend)",
+				gens[i].Name, gens[i].MAC, gens[i-1].Name, gens[i-1].MAC)
+		}
+		if gens[i].BlastRadius < gens[i-1].BlastRadius {
+			t.Errorf("%s blast radius shrank", gens[i].Name)
+		}
+	}
+}
+
+func TestDisturbanceAtDecay(t *testing.T) {
+	p := DisturbanceProfile{MAC: 1, BlastRadius: 3, DistanceDecay: 0.5, FlipProb: 0}
+	cases := map[int]float64{0: 0, 1: 1, -1: 1, 2: 0.5, 3: 0.25, 4: 0, -4: 0}
+	for dist, want := range cases {
+		if got := p.DisturbanceAt(dist); got != want {
+			t.Errorf("DisturbanceAt(%d) = %g, want %g", dist, got, want)
+		}
+	}
+}
+
+func TestActivateOpensRow(t *testing.T) {
+	m := testModule(t, smallMAC())
+	if m.OpenRow(0) != -1 {
+		t.Fatal("bank 0 should start precharged")
+	}
+	if _, err := m.Activate(0, 5, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if m.OpenRow(0) != 5 {
+		t.Fatalf("open row = %d, want 5", m.OpenRow(0))
+	}
+	if err := m.Precharge(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.OpenRow(0) != -1 {
+		t.Fatal("precharge did not close the row")
+	}
+}
+
+func TestActivateBoundsChecked(t *testing.T) {
+	m := testModule(t, smallMAC())
+	if _, err := m.Activate(99, 0, 0, -1); err == nil {
+		t.Fatal("bad bank accepted")
+	}
+	if _, err := m.Activate(0, 1<<20, 0, -1); err == nil {
+		t.Fatal("bad row accepted")
+	}
+}
+
+func TestHammerCrossesMACAndFlips(t *testing.T) {
+	m := testModule(t, smallMAC())
+	// Hammer row 10; victim row 11 must accumulate and flip past MAC=100.
+	for i := 0; i < 150; i++ {
+		if _, err := m.Activate(0, 10, uint64(i), 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.FlipCount() == 0 {
+		t.Fatalf("no flips after 150 ACTs with MAC 100 and FlipProb 1 (disturb=%g)",
+			m.Disturbance(0, 11))
+	}
+	for _, f := range m.Flips() {
+		if f.Aggressor != 10 {
+			t.Errorf("flip attributes aggressor %d, want 10", f.Aggressor)
+		}
+		if f.ActorDomain != 7 {
+			t.Errorf("flip attributes actor %d, want 7", f.ActorDomain)
+		}
+		d := f.Row - 10
+		if d < 0 {
+			d = -d
+		}
+		if d == 0 || d > 2 {
+			t.Errorf("flip at row %d outside blast radius of row 10", f.Row)
+		}
+	}
+}
+
+func TestHammerBelowMACNeverFlips(t *testing.T) {
+	m := testModule(t, smallMAC())
+	for i := 0; i < 99; i++ {
+		if _, err := m.Activate(0, 10, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.FlipCount() != 0 {
+		t.Fatalf("flips below MAC: %d", m.FlipCount())
+	}
+}
+
+func TestActivateRefreshesOwnRow(t *testing.T) {
+	m := testModule(t, smallMAC())
+	for i := 0; i < 50; i++ {
+		if _, err := m.Activate(0, 10, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Disturbance(0, 11) != 50 {
+		t.Fatalf("victim disturbance = %g, want 50", m.Disturbance(0, 11))
+	}
+	// Activating the victim itself clears its accumulated disturbance.
+	if _, err := m.Activate(0, 11, 50, -1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Disturbance(0, 11) != 0 {
+		t.Fatalf("victim ACT did not self-refresh: %g", m.Disturbance(0, 11))
+	}
+}
+
+func TestSubarrayIsolationStopsDisturbance(t *testing.T) {
+	m := testModule(t, smallMAC())
+	// Row 63 is the last row of subarray 0; row 64 starts subarray 1.
+	for i := 0; i < 500; i++ {
+		if _, err := m.Activate(0, 63, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Disturbance(0, 64); got != 0 {
+		t.Fatalf("disturbance crossed subarray boundary: %g (§4.1 isolation violated)", got)
+	}
+	if got := m.Disturbance(0, 62); got == 0 {
+		t.Fatal("no disturbance within the subarray")
+	}
+}
+
+func TestDisturbanceDoesNotCrossBanks(t *testing.T) {
+	m := testModule(t, smallMAC())
+	for i := 0; i < 500; i++ {
+		if _, err := m.Activate(0, 10, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Disturbance(1, 11); got != 0 {
+		t.Fatalf("disturbance crossed banks: %g", got)
+	}
+}
+
+func TestTargetedRefreshClearsDisturbance(t *testing.T) {
+	m := testModule(t, smallMAC())
+	for i := 0; i < 90; i++ {
+		if _, err := m.Activate(0, 10, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.RefreshRow(0, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RefreshRow(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if m.Disturbance(0, 11) != 0 {
+		t.Fatal("targeted refresh did not clear disturbance")
+	}
+	// Continuing the hammer must re-accumulate from zero: 90 more ACTs
+	// keeps both distance-1 victims below MAC (distance-2 victims only
+	// ever see half weight).
+	for i := 0; i < 90; i++ {
+		if _, err := m.Activate(0, 10, uint64(90+i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.FlipCount() != 0 {
+		t.Fatal("refresh did not reset the victim's accumulation")
+	}
+}
+
+func TestRefreshNeighborsCoversRadius(t *testing.T) {
+	m := testModule(t, smallMAC())
+	for i := 0; i < 90; i++ {
+		if _, err := m.Activate(0, 10, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Victims at distance 1 and 2 are charged; REF_NEIGHBORS(10, 2)
+	// must clear both sides.
+	if err := m.RefreshNeighbors(0, 10, 2, 90); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{8, 9, 11, 12} {
+		if m.Disturbance(0, r) != 0 {
+			t.Errorf("row %d not cleared by REF_NEIGHBORS", r)
+		}
+	}
+}
+
+func TestRefreshNeighborsValidatesArgs(t *testing.T) {
+	m := testModule(t, smallMAC())
+	if err := m.RefreshNeighbors(0, 10, 0, 0); err == nil {
+		t.Fatal("radius 0 accepted")
+	}
+	if err := m.RefreshNeighbors(0, -1, 1, 0); err == nil {
+		t.Fatal("negative row accepted")
+	}
+}
+
+func TestRefreshSweepCoversAllRowsInOneWindow(t *testing.T) {
+	m := testModule(t, smallMAC())
+	// Disturb a victim, then issue a full window of REF commands: the
+	// sweep must have recharged every row exactly once.
+	for i := 0; i < 90; i++ {
+		if _, err := m.Activate(0, 10, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refs := m.Timing().RefreshCommandsPerWindow()
+	for i := 0; i < refs; i++ {
+		m.Refresh(uint64(1000 + i))
+	}
+	if m.Disturbance(0, 11) != 0 {
+		t.Fatal("window-long REF sweep left the victim disturbed")
+	}
+}
+
+func TestRefreshSweepIsGradual(t *testing.T) {
+	m := testModule(t, smallMAC())
+	for i := 0; i < 90; i++ {
+		if _, err := m.Activate(0, 500, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A few REFs only sweep the first rows; row 501 stays disturbed.
+	for i := 0; i < 10; i++ {
+		m.Refresh(uint64(1000 + i))
+	}
+	if m.Disturbance(0, 501) == 0 {
+		t.Fatal("10 REFs should not yet have refreshed row 501")
+	}
+}
+
+func TestDataReadWriteAndCorruption(t *testing.T) {
+	m := testModule(t, smallMAC())
+	a := LineAddr{Bank: 0, Row: 11, Column: 3}
+	data := make([]byte, m.Geometry().LineBytes)
+	for i := range data {
+		data[i] = 0xA5
+	}
+	if err := m.WriteLine(a, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadLine(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != 0xA5 {
+			t.Fatalf("byte %d = %#x before hammering", i, got[i])
+		}
+	}
+	// Hammer until flips, then verify stored data actually changed
+	// somewhere in row 11.
+	for i := 0; i < 4000; i++ {
+		if _, err := m.Activate(0, 10, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Activate(0, 12, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corrupted := false
+	for _, f := range m.Flips() {
+		if f.Row == 11 {
+			line, err := m.ReadLine(LineAddr{Bank: 0, Row: 11, Column: f.Column})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if line[f.Bit/8]&(1<<(f.Bit%8)) != 0 || f.Column == a.Column {
+				corrupted = true
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatal("flips recorded but no stored data changed")
+	}
+}
+
+func TestWriteLineValidates(t *testing.T) {
+	m := testModule(t, smallMAC())
+	if err := m.WriteLine(LineAddr{Bank: 0, Row: 0, Column: 0}, []byte{1}); err == nil {
+		t.Fatal("short write accepted")
+	}
+	if err := m.WriteLine(LineAddr{Bank: 99, Row: 0, Column: 0}, make([]byte, 64)); err == nil {
+		t.Fatal("bad bank accepted")
+	}
+	if _, err := m.ReadLine(LineAddr{Bank: 0, Row: 0, Column: 999}); err == nil {
+		t.Fatal("bad column accepted")
+	}
+}
+
+func TestFlipRecordsBounded(t *testing.T) {
+	m, err := NewModule(Config{Profile: smallMAC(), Seed: 1, MaxFlipRecords: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if _, err := m.Activate(0, 10, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(m.Flips()) > 10 {
+		t.Fatalf("flip records = %d, want <= 10", len(m.Flips()))
+	}
+	if m.FlipCount() <= 10 {
+		t.Fatalf("flip count = %d, want > bound (counts stay exact)", m.FlipCount())
+	}
+}
+
+// TestDisturbanceConservation is a property test: for any hammer pattern,
+// a victim's disturbance equals the distance-weighted sum of aggressor
+// ACTs since the victim's last refresh.
+func TestDisturbanceConservation(t *testing.T) {
+	prof := DisturbanceProfile{MAC: 1 << 40, BlastRadius: 2, DistanceDecay: 0.5, FlipProb: 0}
+	f := func(pattern []uint8) bool {
+		m, err := NewModule(Config{Profile: prof, Seed: 2})
+		if err != nil {
+			return false
+		}
+		const victim = 70 // interior row of subarray 1
+		want := 0.0
+		for i, p := range pattern {
+			row := 64 + int(p%12) // rows 64..75, same subarray as victim
+			if _, err := m.Activate(0, row, uint64(i), -1); err != nil {
+				return false
+			}
+			if row == victim {
+				want = 0 // self-refresh
+			} else {
+				want += prof.DisturbanceAt(row - victim)
+			}
+		}
+		got := m.Disturbance(0, victim)
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// trrMAC is large enough that victims survive one tREFI of full-rate
+// hammering, so REF-time mitigation gets its chance (with a tiny MAC the
+// victim dies before the first REF — the §3 scaling failure, tested in
+// the density-scaling experiment instead).
+func trrMAC() DisturbanceProfile {
+	p := smallMAC()
+	p.MAC = 1000
+	return p
+}
+
+func TestTRRCuresFewSidedAttack(t *testing.T) {
+	cfg := DefaultTRR()
+	cfg.RefreshRadius = 2
+	m, err := NewModule(Config{Profile: trrMAC(), Seed: 1, TRR: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Double-sided hammer with REFs interleaved at the real REF cadence.
+	cycle := uint64(0)
+	trefi := m.Timing().TREFI
+	nextRef := trefi
+	for i := 0; i < 5000; i++ {
+		if _, err := m.Activate(0, 10, cycle, -1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Activate(0, 12, cycle+55, -1); err != nil {
+			t.Fatal(err)
+		}
+		cycle += 110
+		for cycle >= nextRef {
+			m.Refresh(nextRef)
+			nextRef += trefi
+		}
+	}
+	if m.FlipCount() != 0 {
+		t.Fatalf("TRR failed to cure a 2-sided attack: %d flips", m.FlipCount())
+	}
+	if m.TRRStats() == 0 {
+		t.Fatal("TRR issued no mitigations")
+	}
+}
+
+func TestTRRBypassedByManySided(t *testing.T) {
+	cfg := DefaultTRR()
+	cfg.RefreshRadius = 2
+	m, err := NewModule(Config{Profile: trrMAC(), Seed: 1, TRR: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 aggressors spaced 2 apart thrash the 4-entry tracker (the
+	// TRRespass bypass): counts never reach the cure threshold.
+	aggressors := make([]int, 12)
+	for i := range aggressors {
+		aggressors[i] = 10 + 2*i
+	}
+	cycle := uint64(0)
+	trefi := m.Timing().TREFI
+	nextRef := trefi
+	for i := 0; i < 2000; i++ {
+		for _, r := range aggressors {
+			if _, err := m.Activate(0, r, cycle, -1); err != nil {
+				t.Fatal(err)
+			}
+			cycle += 55
+			for cycle >= nextRef {
+				m.Refresh(nextRef)
+				nextRef += trefi
+			}
+		}
+	}
+	if m.FlipCount() == 0 {
+		t.Fatal("many-sided attack failed to bypass TRR (TRRespass shape lost)")
+	}
+}
+
+func TestTRRConfigValidation(t *testing.T) {
+	bad := TRRConfig{TrackerEntries: 0, MitigationsPerREF: 1, RefreshRadius: 1}
+	if _, err := NewModule(Config{TRR: &bad}); err == nil {
+		t.Fatal("zero tracker entries accepted")
+	}
+}
+
+func TestModuleConfigDefaults(t *testing.T) {
+	m, err := NewModule(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Geometry() != DefaultGeometry() {
+		t.Fatal("geometry default not applied")
+	}
+	if m.Profile().Name != DDR4Old().Name {
+		t.Fatal("profile default not applied")
+	}
+}
+
+func TestHalfDoubleRelayThroughACTCures(t *testing.T) {
+	// Radius-1 module: the attacker's own disturbance cannot reach
+	// distance 2. With activate-based cures, the TRR mitigation itself
+	// relays disturbance there (the Half-Double phenomenon).
+	prof := DisturbanceProfile{Name: "hd", MAC: 100, BlastRadius: 1, DistanceDecay: 0.5, FlipProb: 1}
+	for _, cureACT := range []bool{false, true} {
+		cfg := TRRConfig{TrackerEntries: 4, MitigationsPerREF: 1, RefreshRadius: 1, CureWithACT: cureACT}
+		m, err := NewModule(Config{Profile: prof, Seed: 1, TRR: &cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const aggressor = 10
+		cycle := uint64(0)
+		for ref := 0; ref < 150; ref++ {
+			for i := 0; i < 20; i++ {
+				if _, err := m.Activate(0, aggressor, cycle, 5); err != nil {
+					t.Fatal(err)
+				}
+				cycle += 60
+			}
+			m.Refresh(cycle)
+		}
+		beyond := uint64(0)
+		for _, f := range m.Flips() {
+			d := f.Row - aggressor
+			if d < 0 {
+				d = -d
+			}
+			if d > prof.BlastRadius {
+				beyond++
+				if f.ActorDomain != -1 {
+					t.Errorf("beyond-radius flip attributed to domain %d, want internal (-1)", f.ActorDomain)
+				}
+			}
+		}
+		if cureACT && beyond == 0 {
+			t.Error("activate-based cures never relayed disturbance beyond the blast radius")
+		}
+		if !cureACT && beyond != 0 {
+			t.Errorf("internal-recharge cures produced %d beyond-radius flips", beyond)
+		}
+	}
+}
+
+func TestEnergyEstimateTracksCommands(t *testing.T) {
+	m := testModule(t, smallMAC())
+	e := DDR4Energy()
+	if got := e.Estimate(m); got != 0 {
+		t.Fatalf("idle module energy = %g", got)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := m.Activate(0, 10, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	actOnly := e.Estimate(m)
+	if want := 100 * e.ACTPre; actOnly != want {
+		t.Fatalf("ACT energy = %g, want %g", actOnly, want)
+	}
+	m.Refresh(1000)
+	if got := e.Estimate(m); got <= actOnly {
+		t.Fatal("refresh added no energy")
+	}
+	if got := e.EstimateWithIO(m, 10); got != e.Estimate(m)+10*e.ReadWrite {
+		t.Fatal("IO energy wrong")
+	}
+}

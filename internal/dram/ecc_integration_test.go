@@ -1,0 +1,196 @@
+package dram
+
+import (
+	"testing"
+
+	"hammertime/internal/ecc"
+)
+
+func eccModule(t *testing.T) *Module {
+	t.Helper()
+	m, err := NewModule(Config{Profile: smallMAC(), Seed: 2, ECC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestECCRequiresAlignedLines(t *testing.T) {
+	g := DefaultGeometry()
+	g.LineBytes = 60
+	if _, err := NewModule(Config{Geometry: g, ECC: true}); err == nil {
+		t.Fatal("unaligned line size accepted with ECC")
+	}
+}
+
+func TestECCCleanLineClassifiesClean(t *testing.T) {
+	m := eccModule(t)
+	a := LineAddr{Bank: 0, Row: 5, Column: 3}
+	data := make([]byte, m.Geometry().LineBytes)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := m.WriteLine(a, data); err != nil {
+		t.Fatal(err)
+	}
+	classes, err := m.ClassifyLine(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, c := range classes {
+		if c != ecc.Clean {
+			t.Fatalf("word %d = %v, want clean", w, c)
+		}
+	}
+}
+
+func TestECCFlipsClassified(t *testing.T) {
+	m := eccModule(t)
+	// Hammer rows 10/12 so row 11 flips; every flipped victim line must
+	// classify as something other than clean, and the flipped-line list
+	// must cover it.
+	for i := 0; i < 5000; i++ {
+		if _, err := m.Activate(0, 10, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Activate(0, 12, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.FlipCount() == 0 {
+		t.Fatal("setup: no flips")
+	}
+	lines := m.FlippedLines()
+	if len(lines) == 0 {
+		t.Fatal("no flipped lines recorded")
+	}
+	nonClean := 0
+	for _, la := range lines {
+		classes, err := m.ClassifyLine(la)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range classes {
+			if c != ecc.Clean {
+				nonClean++
+			}
+		}
+	}
+	if nonClean == 0 {
+		t.Fatal("flips never visible through classification")
+	}
+}
+
+func TestECCCheckBitFlipsAreModeled(t *testing.T) {
+	m := eccModule(t)
+	dataBits := m.Geometry().LineBytes * 8
+	seen := false
+	for i := 0; i < 8000 && !seen; i++ {
+		if _, err := m.Activate(0, 10, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range m.Flips() {
+			if f.Bit >= dataBits {
+				seen = true
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("no flip ever landed in check bits (they are cells too)")
+	}
+}
+
+func TestWriteLineHealsFlippedState(t *testing.T) {
+	m := eccModule(t)
+	for i := 0; i < 5000; i++ {
+		if _, err := m.Activate(0, 10, uint64(i), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := m.FlippedLines()
+	if len(lines) == 0 {
+		t.Skip("no flips this seed")
+	}
+	target := lines[0]
+	fresh := make([]byte, m.Geometry().LineBytes)
+	if err := m.WriteLine(target, fresh); err != nil {
+		t.Fatal(err)
+	}
+	classes, err := m.ClassifyLine(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, c := range classes {
+		if c != ecc.Clean {
+			t.Fatalf("word %d still %v after rewrite", w, c)
+		}
+	}
+	for _, la := range m.FlippedLines() {
+		if la == target {
+			t.Fatal("rewritten line still in flipped set")
+		}
+	}
+}
+
+func TestScrubRepairsSingleFlips(t *testing.T) {
+	m := eccModule(t)
+	a := LineAddr{Bank: 0, Row: 11, Column: 7}
+	want := make([]byte, m.Geometry().LineBytes)
+	for i := range want {
+		want[i] = 0xC3
+	}
+	if err := m.WriteLine(a, want); err != nil {
+		t.Fatal(err)
+	}
+	// Inject exactly one flip by hand through the disturbance machinery:
+	// hammer lightly until this specific line shows a single-bit change.
+	// Deterministic alternative: flip via the module's own path is
+	// random, so emulate the state directly instead.
+	key := m.lineKey(a)
+	m.data[key][0] ^= 0x01
+
+	corr, det, err := m.ScrubLine(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corr != 1 || det != 0 {
+		t.Fatalf("scrub: corrected=%d detected=%d, want 1/0", corr, det)
+	}
+	got, err := m.ReadLine(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d = %#x after scrub, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScrubDetectsDoubleFlips(t *testing.T) {
+	m := eccModule(t)
+	a := LineAddr{Bank: 0, Row: 11, Column: 7}
+	if err := m.WriteLine(a, make([]byte, m.Geometry().LineBytes)); err != nil {
+		t.Fatal(err)
+	}
+	key := m.lineKey(a)
+	m.data[key][0] ^= 0x03 // two flips in word 0
+
+	corr, det, err := m.ScrubLine(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det != 1 || corr != 0 {
+		t.Fatalf("scrub: corrected=%d detected=%d, want 0/1", corr, det)
+	}
+}
+
+func TestScrubRequiresECC(t *testing.T) {
+	m := testModule(t, smallMAC())
+	if _, _, err := m.ScrubLine(LineAddr{}); err == nil {
+		t.Fatal("scrub without ECC accepted")
+	}
+	if _, err := m.ClassifyLine(LineAddr{}); err == nil {
+		t.Fatal("classify without ECC accepted")
+	}
+}

@@ -1,0 +1,87 @@
+// Package dram models a DRAM module at the granularity the Rowhammer
+// problem lives at: banks of row-column subarrays with per-bank row
+// buffers, DDR-style command timing, periodic refresh, and a
+// charge-disturbance model in which frequent activations of aggressor rows
+// corrupt physically-proximate victim rows (Kim et al., ISCA'14).
+//
+// The model follows §2 of "Stop! Hammer Time" (HotOS '21): a row can
+// safely withstand a per-module maximum activation count (MAC) of ACTs
+// within a refresh window; victims lie up to BlastRadius rows from an
+// aggressor; subarrays are electromagnetically isolated from one another,
+// so disturbance never crosses a subarray boundary.
+package dram
+
+import "fmt"
+
+// Geometry describes the physical organization of a module. The module is
+// modeled as a single rank of Banks banks; each bank holds
+// SubarraysPerBank subarrays of RowsPerSubarray rows; each row holds
+// ColumnsPerRow cache-line-sized columns of LineBytes bytes.
+type Geometry struct {
+	Banks            int
+	SubarraysPerBank int
+	RowsPerSubarray  int
+	ColumnsPerRow    int
+	LineBytes        int
+}
+
+// DefaultGeometry returns a small but structurally faithful module:
+// 8 banks x 16 subarrays x 64 rows of 8 KB (128 x 64 B lines), 64 MiB
+// total. Small enough to sweep in tests, large enough that interleaving,
+// subarray grouping and refresh sweeps all behave like the real thing.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Banks:            8,
+		SubarraysPerBank: 16,
+		RowsPerSubarray:  64,
+		ColumnsPerRow:    128,
+		LineBytes:        64,
+	}
+}
+
+// Validate reports an error describing the first invalid field, if any.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Banks <= 0:
+		return fmt.Errorf("dram: geometry has %d banks, need > 0", g.Banks)
+	case g.SubarraysPerBank <= 0:
+		return fmt.Errorf("dram: geometry has %d subarrays per bank, need > 0", g.SubarraysPerBank)
+	case g.RowsPerSubarray <= 0:
+		return fmt.Errorf("dram: geometry has %d rows per subarray, need > 0", g.RowsPerSubarray)
+	case g.ColumnsPerRow <= 0:
+		return fmt.Errorf("dram: geometry has %d columns per row, need > 0", g.ColumnsPerRow)
+	case g.LineBytes <= 0:
+		return fmt.Errorf("dram: geometry has %d bytes per line, need > 0", g.LineBytes)
+	}
+	return nil
+}
+
+// RowsPerBank returns the number of rows in one bank.
+func (g Geometry) RowsPerBank() int { return g.SubarraysPerBank * g.RowsPerSubarray }
+
+// TotalRows returns the number of rows in the module.
+func (g Geometry) TotalRows() int { return g.Banks * g.RowsPerBank() }
+
+// TotalLines returns the number of cache lines the module stores.
+func (g Geometry) TotalLines() uint64 {
+	return uint64(g.Banks) * uint64(g.RowsPerBank()) * uint64(g.ColumnsPerRow)
+}
+
+// TotalBytes returns the module capacity in bytes.
+func (g Geometry) TotalBytes() uint64 { return g.TotalLines() * uint64(g.LineBytes) }
+
+// RowBytes returns the size of one row in bytes.
+func (g Geometry) RowBytes() int { return g.ColumnsPerRow * g.LineBytes }
+
+// SubarrayOf returns the subarray index containing the bank-local row.
+func (g Geometry) SubarrayOf(row int) int { return row / g.RowsPerSubarray }
+
+// SameSubarray reports whether two bank-local rows share a subarray and
+// therefore share bit lines (disturbance can propagate between them).
+func (g Geometry) SameSubarray(a, b int) bool { return g.SubarrayOf(a) == g.SubarrayOf(b) }
+
+// ValidRow reports whether row is a valid bank-local row index.
+func (g Geometry) ValidRow(row int) bool { return row >= 0 && row < g.RowsPerBank() }
+
+// ValidBank reports whether bank is a valid bank index.
+func (g Geometry) ValidBank(bank int) bool { return bank >= 0 && bank < g.Banks }

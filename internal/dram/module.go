@@ -1,0 +1,616 @@
+package dram
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hammertime/internal/ecc"
+	"hammertime/internal/sim"
+)
+
+// FlipEvent records one Rowhammer bit flip: which bit of which line of
+// which victim row flipped, when, and which aggressor row's activation
+// pushed it over.
+type FlipEvent struct {
+	Bank      int
+	Row       int // victim, bank-local
+	Subarray  int
+	Column    int
+	Bit       int // bit offset within the line
+	Cycle     uint64
+	Aggressor int // aggressor row, bank-local
+	// ActorDomain is the trust domain whose access triggered the
+	// aggressor activation (-1 when unknown/internal).
+	ActorDomain int
+}
+
+// LineAddr identifies one cache-line-sized column in the module.
+type LineAddr struct {
+	Bank   int
+	Row    int // bank-local
+	Column int
+}
+
+// Config assembles everything a Module needs. Zero-valued fields fall back
+// to defaults (DefaultGeometry, DDR4Timing, DDR4Old profile).
+type Config struct {
+	Geometry Geometry
+	Timing   Timing
+	Profile  DisturbanceProfile
+	// TRR, if non-nil, enables the in-DRAM blackbox Target Row Refresh
+	// baseline (§3): an n-entry aggressor tracker serviced at REF time.
+	TRR *TRRConfig
+	// ECC enables SECDED (72,64) protection: every 64-bit word carries 8
+	// check bits, flips may also land in check bits, and ReadLine/
+	// ClassifyLine report corrected/detected/silent outcomes (the
+	// Cojocar et al. hierarchy).
+	ECC bool
+	// MaxFlipRecords bounds the retained FlipEvent list (flip *counts* are
+	// always exact). 0 means DefaultMaxFlipRecords.
+	MaxFlipRecords int
+	// Seed seeds the module's private RNG (victim bit selection).
+	Seed uint64
+}
+
+// DefaultMaxFlipRecords is the default bound on retained flip events.
+const DefaultMaxFlipRecords = 4096
+
+// Module is a simulated DRAM module. It is passive: the memory controller
+// drives it by calling command methods with the current cycle. Module is
+// not safe for concurrent use.
+type Module struct {
+	geom   Geometry
+	timing Timing
+	prof   DisturbanceProfile
+
+	banks []bank
+	trr   *trrEngine
+
+	rng   *sim.RNG
+	stats *sim.Stats
+
+	// Refresh sweep state: refreshPtr is the next bank-local row the sweep
+	// will recharge (same row index in every bank). The sweep advances
+	// fractionally — refAccum accumulates RowsPerBank per REF and a row is
+	// recharged each time it crosses refDenom (= REF commands per window) —
+	// so one full sweep takes exactly one refresh window regardless of the
+	// module's row count.
+	refreshPtr  int
+	refAccum    int
+	refDenom    int
+	flipRecords []FlipEvent
+	maxRecords  int
+	flipCount   uint64
+	crossFlips  func(FlipEvent) // optional observer
+
+	data map[uint64][]byte // sparse line store, key = lineKey
+
+	// ECC state (nil maps when disabled): stored check bytes, the
+	// originally-written ground truth, and the set of flipped lines.
+	eccOn     bool
+	checks    map[uint64][8]uint8
+	originals map[uint64][]byte
+	flipped   map[uint64]bool
+}
+
+// bank holds per-bank dynamic state.
+type bank struct {
+	openRow int // -1 when precharged
+	// disturb accumulates distance-weighted aggressor ACTs per victim row
+	// since the victim's last refresh. Sparse: rows never disturbed since
+	// their last refresh are absent.
+	disturb map[int]float64
+	// acts counts ACTs per row since the row's last refresh (stats, TRR).
+	acts map[int]uint64
+}
+
+// NewModule constructs a module from cfg, applying defaults for zero
+// fields and validating the result.
+func NewModule(cfg Config) (*Module, error) {
+	if cfg.Geometry == (Geometry{}) {
+		cfg.Geometry = DefaultGeometry()
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = DDR4Timing()
+	}
+	if cfg.Profile == (DisturbanceProfile{}) {
+		cfg.Profile = DDR4Old()
+	}
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxFlipRecords == 0 {
+		cfg.MaxFlipRecords = DefaultMaxFlipRecords
+	}
+	m := &Module{
+		geom:       cfg.Geometry,
+		timing:     cfg.Timing,
+		prof:       cfg.Profile,
+		banks:      make([]bank, cfg.Geometry.Banks),
+		rng:        sim.NewRNG(cfg.Seed ^ 0xd2a57d4d11b2c9f3),
+		stats:      &sim.Stats{},
+		maxRecords: cfg.MaxFlipRecords,
+		data:       make(map[uint64][]byte),
+		eccOn:      cfg.ECC,
+		flipped:    make(map[uint64]bool),
+	}
+	if cfg.ECC {
+		if cfg.Geometry.LineBytes%8 != 0 {
+			return nil, fmt.Errorf("dram: ECC requires 8-byte-aligned lines, got %d bytes", cfg.Geometry.LineBytes)
+		}
+		m.checks = make(map[uint64][8]uint8)
+		m.originals = make(map[uint64][]byte)
+	}
+	for i := range m.banks {
+		m.banks[i] = bank{openRow: -1, disturb: make(map[int]float64), acts: make(map[int]uint64)}
+	}
+	m.refDenom = cfg.Timing.RefreshCommandsPerWindow()
+	if m.refDenom <= 0 {
+		m.refDenom = 1
+	}
+	if cfg.TRR != nil {
+		t, err := newTRREngine(*cfg.TRR, cfg.Geometry, cfg.Profile)
+		if err != nil {
+			return nil, err
+		}
+		m.trr = t
+	}
+	return m, nil
+}
+
+// Geometry returns the module's geometry.
+func (m *Module) Geometry() Geometry { return m.geom }
+
+// Timing returns the module's timing parameters.
+func (m *Module) Timing() Timing { return m.timing }
+
+// Profile returns the module's disturbance profile.
+func (m *Module) Profile() DisturbanceProfile { return m.prof }
+
+// Stats returns the module's stats registry.
+func (m *Module) Stats() *sim.Stats { return m.stats }
+
+// SetFlipObserver registers fn to be called synchronously on every bit
+// flip (in addition to recording). Pass nil to remove.
+func (m *Module) SetFlipObserver(fn func(FlipEvent)) { m.crossFlips = fn }
+
+// OpenRow returns the bank's open row, or -1 if the bank is precharged.
+func (m *Module) OpenRow(bankIdx int) int {
+	return m.banks[bankIdx].openRow
+}
+
+// Activate issues an ACT command: it connects row to the bank's row buffer,
+// recharges the row itself, and disturbs neighbors within the blast radius
+// in the same subarray. Any bit flips caused by this activation are
+// recorded and returned. actorDomain tags the trust domain whose access
+// caused the ACT (-1 for internal/unattributed activity) so flips can be
+// attributed exactly.
+func (m *Module) Activate(bankIdx, row int, cycle uint64, actorDomain int) ([]FlipEvent, error) {
+	if !m.geom.ValidBank(bankIdx) {
+		return nil, fmt.Errorf("dram: activate: bank %d out of range [0,%d)", bankIdx, m.geom.Banks)
+	}
+	if !m.geom.ValidRow(row) {
+		return nil, fmt.Errorf("dram: activate: row %d out of range [0,%d)", row, m.geom.RowsPerBank())
+	}
+	b := &m.banks[bankIdx]
+	b.openRow = row
+	m.stats.Inc("dram.act")
+	b.acts[row]++
+	// An ACT recharges the activated row as a side effect (§2.1).
+	delete(b.disturb, row)
+
+	var flips []FlipEvent
+	sub := m.geom.SubarrayOf(row)
+	for dist := 1; dist <= m.prof.BlastRadius; dist++ {
+		amount := m.prof.DisturbanceAt(dist)
+		for _, victim := range [2]int{row - dist, row + dist} {
+			if !m.geom.ValidRow(victim) || m.geom.SubarrayOf(victim) != sub {
+				continue // subarrays are electromagnetically isolated
+			}
+			flips = append(flips, m.disturbRow(bankIdx, victim, row, amount, cycle, actorDomain)...)
+		}
+	}
+	if m.trr != nil {
+		m.trr.onActivate(bankIdx, row)
+	}
+	return flips, nil
+}
+
+// activateInternal performs the electrical effects of an ACT (open row,
+// self-refresh, neighbor disturbance) without feeding the TRR tracker —
+// used by mitigation engines whose cures are themselves activations.
+func (m *Module) activateInternal(bankIdx, row int, cycle uint64) ([]FlipEvent, error) {
+	if !m.geom.ValidBank(bankIdx) || !m.geom.ValidRow(row) {
+		return nil, fmt.Errorf("dram: internal activate: bank %d row %d out of range", bankIdx, row)
+	}
+	b := &m.banks[bankIdx]
+	b.openRow = row
+	m.stats.Inc("dram.act")
+	delete(b.disturb, row)
+	var flips []FlipEvent
+	sub := m.geom.SubarrayOf(row)
+	for dist := 1; dist <= m.prof.BlastRadius; dist++ {
+		amount := m.prof.DisturbanceAt(dist)
+		for _, victim := range [2]int{row - dist, row + dist} {
+			if !m.geom.ValidRow(victim) || m.geom.SubarrayOf(victim) != sub {
+				continue
+			}
+			flips = append(flips, m.disturbRow(bankIdx, victim, row, amount, cycle, -1)...)
+		}
+	}
+	return flips, nil
+}
+
+// disturbRow adds disturbance to one victim row and generates flips for
+// any excess beyond the MAC.
+func (m *Module) disturbRow(bankIdx, victim, aggressor int, amount float64, cycle uint64, actorDomain int) []FlipEvent {
+	b := &m.banks[bankIdx]
+	old := b.disturb[victim]
+	now := old + amount
+	b.disturb[victim] = now
+
+	mac := float64(m.prof.MAC)
+	if now <= mac {
+		return nil
+	}
+	excessDelta := now - mac
+	if old > mac {
+		excessDelta = now - old
+	}
+	expect := excessDelta * m.prof.FlipProb
+	n := int(expect)
+	if m.rng.Bool(expect - float64(n)) {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	bitSpace := m.geom.LineBytes * 8
+	if m.eccOn {
+		// Check bits are cells too: one check byte per 64-bit word.
+		bitSpace += m.geom.LineBytes / 8 * 8
+	}
+	flips := make([]FlipEvent, 0, n)
+	for i := 0; i < n; i++ {
+		ev := FlipEvent{
+			Bank:        bankIdx,
+			Row:         victim,
+			Subarray:    m.geom.SubarrayOf(victim),
+			Column:      m.rng.Intn(m.geom.ColumnsPerRow),
+			Bit:         m.rng.Intn(bitSpace),
+			Cycle:       cycle,
+			Aggressor:   aggressor,
+			ActorDomain: actorDomain,
+		}
+		m.applyFlip(ev)
+		flips = append(flips, ev)
+	}
+	return flips
+}
+
+// applyFlip records ev and corrupts the stored data, materializing the
+// line if it was never written (unwritten cells still flip on hardware).
+func (m *Module) applyFlip(ev FlipEvent) {
+	m.flipCount++
+	m.stats.Inc("dram.flips")
+	if len(m.flipRecords) < m.maxRecords {
+		m.flipRecords = append(m.flipRecords, ev)
+	}
+	key := m.lineKey(LineAddr{Bank: ev.Bank, Row: ev.Row, Column: ev.Column})
+	m.flipped[key] = true
+	m.materialize(key)
+	dataBits := m.geom.LineBytes * 8
+	if ev.Bit < dataBits {
+		m.data[key][ev.Bit/8] ^= 1 << (ev.Bit % 8)
+	} else {
+		// ECC check-bit flip: word w's check byte.
+		cb := ev.Bit - dataBits
+		checks := m.checks[key]
+		checks[cb/8] ^= 1 << (cb % 8)
+		m.checks[key] = checks
+	}
+	if m.crossFlips != nil {
+		m.crossFlips(ev)
+	}
+}
+
+// materialize ensures the sparse stores hold state for key (zero data,
+// matching check bits and ground truth when ECC is on).
+func (m *Module) materialize(key uint64) {
+	if _, ok := m.data[key]; !ok {
+		m.data[key] = make([]byte, m.geom.LineBytes)
+	}
+	if !m.eccOn {
+		return
+	}
+	if _, ok := m.checks[key]; !ok {
+		var cs [8]uint8
+		zero := ecc.Encode(0)
+		for i := range cs {
+			cs[i] = zero.Check
+		}
+		m.checks[key] = cs
+	}
+	if _, ok := m.originals[key]; !ok {
+		m.originals[key] = make([]byte, m.geom.LineBytes)
+	}
+}
+
+// Precharge issues a PRE command, closing the bank's open row.
+func (m *Module) Precharge(bankIdx int) error {
+	if !m.geom.ValidBank(bankIdx) {
+		return fmt.Errorf("dram: precharge: bank %d out of range [0,%d)", bankIdx, m.geom.Banks)
+	}
+	m.banks[bankIdx].openRow = -1
+	m.stats.Inc("dram.pre")
+	return nil
+}
+
+// Refresh issues one REF command (the periodic sweep): the next batch of
+// rows is recharged in every bank, and — if TRR is enabled — the in-DRAM
+// mitigation gets its chance to issue targeted neighbor refreshes.
+// The memory controller is responsible for issuing Refresh every TREFI.
+func (m *Module) Refresh(cycle uint64) {
+	m.stats.Inc("dram.ref")
+	rows := m.geom.RowsPerBank()
+	m.refAccum += rows
+	for m.refAccum >= m.refDenom {
+		m.refAccum -= m.refDenom
+		for b := range m.banks {
+			m.refreshRowInternal(b, m.refreshPtr)
+		}
+		m.refreshPtr = (m.refreshPtr + 1) % rows
+	}
+	if m.trr != nil {
+		m.trr.onRefresh(m, cycle)
+	}
+}
+
+// refreshRowInternal recharges one row without command-timing side
+// effects (used by the REF sweep and targeted refreshes).
+func (m *Module) refreshRowInternal(bankIdx, row int) {
+	b := &m.banks[bankIdx]
+	delete(b.disturb, row)
+	delete(b.acts, row)
+}
+
+// RefreshRow performs a targeted refresh of one row, as issued by the
+// proposed host refresh instruction (§4.3) after its PRE+ACT sequence, or
+// by in-MC mitigations (PARA, Graphene). It recharges the row without
+// disturbing neighbors — the neighbor disturbance of the instruction's ACT
+// is modeled by the memory controller issuing a real Activate first.
+func (m *Module) RefreshRow(bankIdx, row int) error {
+	if !m.geom.ValidBank(bankIdx) {
+		return fmt.Errorf("dram: refresh row: bank %d out of range [0,%d)", bankIdx, m.geom.Banks)
+	}
+	if !m.geom.ValidRow(row) {
+		return fmt.Errorf("dram: refresh row: row %d out of range [0,%d)", row, m.geom.RowsPerBank())
+	}
+	m.stats.Inc("dram.targeted_refresh")
+	m.refreshRowInternal(bankIdx, row)
+	return nil
+}
+
+// RefreshNeighbors implements the optional REF_NEIGHBORS DDR command the
+// paper proposes (§4.3): DRAM refreshes all potential victims of the given
+// aggressor row up to radius rows away, within the aggressor's subarray.
+func (m *Module) RefreshNeighbors(bankIdx, row, radius int, cycle uint64) error {
+	if !m.geom.ValidBank(bankIdx) {
+		return fmt.Errorf("dram: refresh neighbors: bank %d out of range [0,%d)", bankIdx, m.geom.Banks)
+	}
+	if !m.geom.ValidRow(row) {
+		return fmt.Errorf("dram: refresh neighbors: row %d out of range [0,%d)", row, m.geom.RowsPerBank())
+	}
+	if radius <= 0 {
+		return fmt.Errorf("dram: refresh neighbors: radius %d, need > 0", radius)
+	}
+	m.stats.Inc("dram.ref_neighbors")
+	sub := m.geom.SubarrayOf(row)
+	for dist := 1; dist <= radius; dist++ {
+		for _, victim := range [2]int{row - dist, row + dist} {
+			if m.geom.ValidRow(victim) && m.geom.SubarrayOf(victim) == sub {
+				m.refreshRowInternal(bankIdx, victim)
+			}
+		}
+	}
+	return nil
+}
+
+// FlipCount returns the total number of bit flips so far.
+func (m *Module) FlipCount() uint64 { return m.flipCount }
+
+// Flips returns the recorded flip events (bounded by MaxFlipRecords).
+// The returned slice is owned by the module; callers must not modify it.
+func (m *Module) Flips() []FlipEvent { return m.flipRecords }
+
+// Disturbance returns the accumulated disturbance of a row since its last
+// refresh. Exposed for tests and for modeling idealized hardware oracles.
+func (m *Module) Disturbance(bankIdx, row int) float64 {
+	return m.banks[bankIdx].disturb[row]
+}
+
+// SeedDisturbance sets a row's accumulated disturbance directly. It
+// exists for experiments that need a specific charge state (e.g. E7's
+// "victim row open while disturbed" hazard) without replaying the access
+// history; it is not part of the hardware model and generates no flips.
+func (m *Module) SeedDisturbance(bankIdx, row int, amount float64) {
+	m.banks[bankIdx].disturb[row] = amount
+}
+
+// ActCount returns the number of ACTs of a row since its last refresh.
+func (m *Module) ActCount(bankIdx, row int) uint64 {
+	return m.banks[bankIdx].acts[row]
+}
+
+// lineKey packs a line address into a map key.
+func (m *Module) lineKey(a LineAddr) uint64 {
+	return (uint64(a.Bank)*uint64(m.geom.RowsPerBank())+uint64(a.Row))*uint64(m.geom.ColumnsPerRow) + uint64(a.Column)
+}
+
+// WriteLine stores data (copied, exactly LineBytes long) at the line.
+// With ECC enabled it also computes and stores the check bits and records
+// the written data as ground truth for later classification.
+func (m *Module) WriteLine(a LineAddr, data []byte) error {
+	if err := m.checkLine(a); err != nil {
+		return err
+	}
+	if len(data) != m.geom.LineBytes {
+		return fmt.Errorf("dram: write line: got %d bytes, want %d", len(data), m.geom.LineBytes)
+	}
+	key := m.lineKey(a)
+	line, ok := m.data[key]
+	if !ok {
+		line = make([]byte, m.geom.LineBytes)
+		m.data[key] = line
+	}
+	copy(line, data)
+	delete(m.flipped, key) // a full write lays down fresh, clean cells
+	if m.eccOn {
+		var cs [8]uint8
+		for w := 0; w < m.geom.LineBytes/8 && w < 8; w++ {
+			cs[w] = ecc.Encode(binary.LittleEndian.Uint64(data[w*8:])).Check
+		}
+		m.checks[key] = cs
+		orig, ok := m.originals[key]
+		if !ok {
+			orig = make([]byte, m.geom.LineBytes)
+			m.originals[key] = orig
+		}
+		copy(orig, data)
+	}
+	return nil
+}
+
+// ReadLine returns a copy of the line's current contents (zeroes if never
+// written, with any Rowhammer corruption applied).
+func (m *Module) ReadLine(a LineAddr) ([]byte, error) {
+	if err := m.checkLine(a); err != nil {
+		return nil, err
+	}
+	out := make([]byte, m.geom.LineBytes)
+	if line, ok := m.data[m.lineKey(a)]; ok {
+		copy(out, line)
+	}
+	return out, nil
+}
+
+func (m *Module) checkLine(a LineAddr) error {
+	switch {
+	case !m.geom.ValidBank(a.Bank):
+		return fmt.Errorf("dram: bank %d out of range [0,%d)", a.Bank, m.geom.Banks)
+	case !m.geom.ValidRow(a.Row):
+		return fmt.Errorf("dram: row %d out of range [0,%d)", a.Row, m.geom.RowsPerBank())
+	case a.Column < 0 || a.Column >= m.geom.ColumnsPerRow:
+		return fmt.Errorf("dram: column %d out of range [0,%d)", a.Column, m.geom.ColumnsPerRow)
+	}
+	return nil
+}
+
+// ECCEnabled reports whether the module stores check bits.
+func (m *Module) ECCEnabled() bool { return m.eccOn }
+
+// ClassifyLine decodes every 64-bit word of the line against its stored
+// check bits and the originally-written ground truth, classifying each as
+// clean / corrected / detected / silent corruption. Only meaningful with
+// ECC enabled.
+func (m *Module) ClassifyLine(a LineAddr) ([]ecc.Classification, error) {
+	if !m.eccOn {
+		return nil, fmt.Errorf("dram: ClassifyLine requires ECC")
+	}
+	if err := m.checkLine(a); err != nil {
+		return nil, err
+	}
+	key := m.lineKey(a)
+	words := m.geom.LineBytes / 8
+	if words > 8 {
+		words = 8
+	}
+	out := make([]ecc.Classification, words)
+	stored, ok := m.data[key]
+	if !ok {
+		return out, nil // never written, never flipped: all clean
+	}
+	m.materialize(key)
+	checks := m.checks[key]
+	orig := m.originals[key]
+	for w := 0; w < words; w++ {
+		out[w] = ecc.Classify(
+			binary.LittleEndian.Uint64(orig[w*8:]),
+			ecc.Word{Data: binary.LittleEndian.Uint64(stored[w*8:]), Check: checks[w]},
+		)
+	}
+	return out, nil
+}
+
+// ScrubLine performs one patrol-scrub pass over the line: every word is
+// decoded; correctable words are rewritten with corrected data and fresh
+// check bits, uncorrectable words are reported. Like real hardware the
+// scrubber has no ground truth — a multi-bit word that aliases to a
+// correctable pattern gets "corrected" to the wrong value and laundered
+// with clean check bits (still classified as silent corruption later).
+// Returns (corrected, detected) word counts.
+func (m *Module) ScrubLine(a LineAddr) (corrected, detected int, err error) {
+	if !m.eccOn {
+		return 0, 0, fmt.Errorf("dram: ScrubLine requires ECC")
+	}
+	if err := m.checkLine(a); err != nil {
+		return 0, 0, err
+	}
+	key := m.lineKey(a)
+	stored, ok := m.data[key]
+	if !ok {
+		return 0, 0, nil // untouched line: nothing to scrub
+	}
+	m.materialize(key)
+	checks := m.checks[key]
+	words := m.geom.LineBytes / 8
+	if words > 8 {
+		words = 8
+	}
+	for w := 0; w < words; w++ {
+		word := ecc.Word{Data: binary.LittleEndian.Uint64(stored[w*8:]), Check: checks[w]}
+		decoded, res := ecc.Decode(word)
+		switch res {
+		case ecc.Corrected:
+			binary.LittleEndian.PutUint64(stored[w*8:], decoded)
+			checks[w] = ecc.Encode(decoded).Check
+			corrected++
+			m.stats.Inc("dram.scrub_corrected")
+		case ecc.Detected:
+			detected++
+			m.stats.Inc("dram.scrub_detected")
+		}
+	}
+	m.checks[key] = checks
+	return corrected, detected, nil
+}
+
+// FlippedLines returns the addresses of every line that has absorbed at
+// least one Rowhammer flip since its last full write.
+func (m *Module) FlippedLines() []LineAddr {
+	out := make([]LineAddr, 0, len(m.flipped))
+	cols := uint64(m.geom.ColumnsPerRow)
+	rows := uint64(m.geom.RowsPerBank())
+	for key := range m.flipped {
+		col := key % cols
+		row := (key / cols) % rows
+		bank := key / (cols * rows)
+		out = append(out, LineAddr{Bank: int(bank), Row: int(row), Column: int(col)})
+	}
+	return out
+}
+
+// TRRStats returns the TRR engine's cumulative targeted-refresh count, or
+// 0 if TRR is disabled.
+func (m *Module) TRRStats() uint64 {
+	if m.trr == nil {
+		return 0
+	}
+	return m.trr.refreshes
+}

@@ -1,0 +1,100 @@
+package dram
+
+import "fmt"
+
+// DisturbanceProfile captures how susceptible a DRAM technology generation
+// is to Rowhammer. The numbers track the measurements of Kim et al.
+// (ISCA'20, [30] in the paper): as density grows across generations, the
+// MAC drops by orders of magnitude and the blast radius widens.
+type DisturbanceProfile struct {
+	// Name identifies the generation (for reports).
+	Name string
+	// MAC is the maximum activation count a row can withstand within one
+	// refresh window before neighbors within the blast radius may flip.
+	MAC uint64
+	// BlastRadius is the maximum distance (in rows, same subarray) at
+	// which an aggressor can disturb a victim.
+	BlastRadius int
+	// DistanceDecay attenuates disturbance per row of distance: a victim
+	// at distance d receives DistanceDecay^(d-1) units per aggressor ACT.
+	DistanceDecay float64
+	// FlipProb is the probability that one unit of disturbance beyond the
+	// MAC flips one bit in the victim row.
+	FlipProb float64
+}
+
+// Canonical generation profiles. MAC values follow the first-flip hammer
+// counts reported by Kim et al. for 2014 DDR3, older DDR4, recent DDR4 and
+// LPDDR4 parts; "FutureDense" extrapolates the paper's §3 trend.
+func DDR3() DisturbanceProfile {
+	return DisturbanceProfile{Name: "DDR3-2014", MAC: 139_000, BlastRadius: 1, DistanceDecay: 0.5, FlipProb: 0.002}
+}
+
+// DDR4Old returns the profile of early DDR4 parts.
+func DDR4Old() DisturbanceProfile {
+	return DisturbanceProfile{Name: "DDR4-old", MAC: 22_400, BlastRadius: 2, DistanceDecay: 0.5, FlipProb: 0.002}
+}
+
+// DDR4New returns the profile of recent, denser DDR4 parts.
+func DDR4New() DisturbanceProfile {
+	return DisturbanceProfile{Name: "DDR4-new", MAC: 9_600, BlastRadius: 2, DistanceDecay: 0.5, FlipProb: 0.002}
+}
+
+// LPDDR4 returns the profile of LPDDR4 parts, the most susceptible
+// generation measured by Kim et al.
+func LPDDR4() DisturbanceProfile {
+	return DisturbanceProfile{Name: "LPDDR4", MAC: 4_800, BlastRadius: 4, DistanceDecay: 0.5, FlipProb: 0.002}
+}
+
+// FutureDense extrapolates the worsening trend of §3 to a hypothetical
+// next-generation node.
+func FutureDense() DisturbanceProfile {
+	return DisturbanceProfile{Name: "future-dense", MAC: 1_024, BlastRadius: 6, DistanceDecay: 0.6, FlipProb: 0.002}
+}
+
+// Generations returns the canonical profiles ordered from least to most
+// susceptible, for density-scaling sweeps (experiment E3).
+func Generations() []DisturbanceProfile {
+	return []DisturbanceProfile{DDR3(), DDR4Old(), DDR4New(), LPDDR4(), FutureDense()}
+}
+
+// Validate reports an error describing the first invalid field, if any.
+func (p DisturbanceProfile) Validate() error {
+	switch {
+	case p.MAC == 0:
+		return fmt.Errorf("dram: profile %q has zero MAC", p.Name)
+	case p.BlastRadius <= 0:
+		return fmt.Errorf("dram: profile %q has blast radius %d, need > 0", p.Name, p.BlastRadius)
+	case p.DistanceDecay <= 0 || p.DistanceDecay > 1:
+		return fmt.Errorf("dram: profile %q has distance decay %g, need (0, 1]", p.Name, p.DistanceDecay)
+	case p.FlipProb < 0 || p.FlipProb > 1:
+		return fmt.Errorf("dram: profile %q has flip probability %g, need [0, 1]", p.Name, p.FlipProb)
+	}
+	return nil
+}
+
+// DisturbanceAt returns the disturbance contribution of one aggressor ACT
+// to a victim at the given row distance, or 0 if outside the blast radius.
+func (p DisturbanceProfile) DisturbanceAt(distance int) float64 {
+	if distance < 0 {
+		distance = -distance
+	}
+	if distance == 0 || distance > p.BlastRadius {
+		return 0
+	}
+	d := 1.0
+	for i := 1; i < distance; i++ {
+		d *= p.DistanceDecay
+	}
+	return d
+}
+
+// MinActsToFlip returns roughly how many ACTs of a single adjacent
+// aggressor are needed before the first victim bit is expected to flip:
+// the MAC plus the expected excess at FlipProb.
+func (p DisturbanceProfile) MinActsToFlip() uint64 {
+	if p.FlipProb <= 0 {
+		return ^uint64(0)
+	}
+	return p.MAC + uint64(1/p.FlipProb)
+}

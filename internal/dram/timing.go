@@ -1,0 +1,85 @@
+package dram
+
+import "fmt"
+
+// Timing holds DDR command timing in memory-controller clock cycles.
+// The simulator is not cycle-accurate at the command-bus level; these
+// parameters drive an analytic latency model (row hit = TCL, row miss =
+// TRP + TRCD + TCL, refresh occupies the rank for TRFC) that captures the
+// bank-level-parallelism and row-locality effects the evaluation needs.
+type Timing struct {
+	// TRCD is the ACT-to-RD/WR delay.
+	TRCD uint64
+	// TRP is the PRE-to-ACT delay.
+	TRP uint64
+	// TCL is the RD/WR-to-data delay (CAS latency).
+	TCL uint64
+	// TRAS is the minimum ACT-to-PRE delay.
+	TRAS uint64
+	// TRC is the minimum ACT-to-ACT delay for one bank; it bounds the
+	// maximum hammer rate an attacker can achieve.
+	TRC uint64
+	// TRFC is the duration of one REF command, during which the rank is
+	// unavailable.
+	TRFC uint64
+	// TREFI is the interval between REF commands issued by the memory
+	// controller.
+	TREFI uint64
+	// RefreshWindow (tREFW) is the interval within which every row is
+	// refreshed once by the REF sweep; the MAC is defined over this window.
+	RefreshWindow uint64
+}
+
+// DDR4Timing returns DDR4-2400-like timing at a 1.2 GHz controller clock:
+// tRCD/tRP/tCL ~13.5 ns, tRC ~45 ns, tREFI 7.8 us, tRFC 350 ns, tREFW 64 ms.
+func DDR4Timing() Timing {
+	return Timing{
+		TRCD:          16,
+		TRP:           16,
+		TCL:           16,
+		TRAS:          39,
+		TRC:           55,
+		TRFC:          420,
+		TREFI:         9360,
+		RefreshWindow: 76_800_000,
+	}
+}
+
+// Validate reports an error describing the first invalid field, if any.
+func (t Timing) Validate() error {
+	switch {
+	case t.TRCD == 0 || t.TRP == 0 || t.TCL == 0:
+		return fmt.Errorf("dram: timing has zero TRCD/TRP/TCL (%d/%d/%d)", t.TRCD, t.TRP, t.TCL)
+	case t.TRC == 0:
+		return fmt.Errorf("dram: timing has zero TRC")
+	case t.TREFI == 0 || t.RefreshWindow == 0:
+		return fmt.Errorf("dram: timing has zero TREFI/RefreshWindow (%d/%d)", t.TREFI, t.RefreshWindow)
+	case t.TREFI >= t.RefreshWindow:
+		return fmt.Errorf("dram: TREFI %d must be far smaller than RefreshWindow %d", t.TREFI, t.RefreshWindow)
+	}
+	return nil
+}
+
+// RefreshCommandsPerWindow returns how many REF commands fit in one
+// refresh window (nominally 8192 on real DDR4).
+func (t Timing) RefreshCommandsPerWindow() int {
+	return int(t.RefreshWindow / t.TREFI)
+}
+
+// MaxActsPerWindowPerBank returns the maximum number of ACTs a single bank
+// can absorb within one refresh window, bounded by TRC. This is the ACT
+// budget an attacker divides among its aggressor rows.
+func (t Timing) MaxActsPerWindowPerBank() uint64 {
+	return t.RefreshWindow / t.TRC
+}
+
+// RowMissLatency returns the service latency of a request that must close
+// an open row and activate another (PRE + ACT + CAS).
+func (t Timing) RowMissLatency() uint64 { return t.TRP + t.TRCD + t.TCL }
+
+// RowEmptyLatency returns the service latency of a request to a bank with
+// no open row (ACT + CAS).
+func (t Timing) RowEmptyLatency() uint64 { return t.TRCD + t.TCL }
+
+// RowHitLatency returns the service latency of a row-buffer hit (CAS only).
+func (t Timing) RowHitLatency() uint64 { return t.TCL }

@@ -1,0 +1,162 @@
+package dram
+
+import "fmt"
+
+// TRRConfig configures the in-DRAM blackbox Target Row Refresh baseline.
+//
+// Real vendors track a small number n of aggressor candidates per bank
+// with counter tables and cure a candidate's neighbors at REF time once
+// its count crosses a threshold. TRRespass (Frigo et al., S&P'20) showed
+// the bypass: with more than n uniformly-hammered aggressors the tracker's
+// eviction policy thrashes — no candidate ever accumulates enough count to
+// trigger a cure — and victims flip exactly as if TRR were absent. This
+// engine reproduces that mechanism: a Misra-Gries-style table whose
+// decrement churn under > n distinct hot rows keeps every count below the
+// cure threshold.
+type TRRConfig struct {
+	// TrackerEntries is n: aggressor candidates tracked per bank.
+	TrackerEntries int
+	// MitigationsPerREF is how many over-threshold candidates get their
+	// neighbors refreshed on each REF command (vendors cure 1-2).
+	MitigationsPerREF int
+	// RefreshRadius is how far around a cured aggressor the engine
+	// refreshes (vendor blast-radius assumption, often just 1).
+	RefreshRadius int
+	// CureThreshold is the tracked count a candidate must reach before a
+	// REF cures it. Zero means 8.
+	CureThreshold uint64
+	// DecayEvery controls eviction pressure: every DecayEvery'th ACT of
+	// an untracked row (with the table full) decrements all candidates.
+	// Zero means 4. Larger values bias the tracker toward genuinely hot
+	// rows amid benign noise, at the cost of slower adaptation.
+	DecayEvery int
+	// CureWithACT makes the mitigation refresh victims by *activating*
+	// them (how several real implementations work) instead of an internal
+	// recharge. Those activations disturb their own neighbors — the
+	// relay that the Half-Double attack (Google, 2021/22) exploits to
+	// reach victims beyond the module's native blast radius. Off by
+	// default; experiment E10 measures the difference.
+	CureWithACT bool
+}
+
+// DefaultTRR returns a vendor-typical configuration: 4 tracker entries,
+// one mitigation per REF, radius 1.
+func DefaultTRR() TRRConfig {
+	return TRRConfig{TrackerEntries: 4, MitigationsPerREF: 1, RefreshRadius: 1}
+}
+
+func (c *TRRConfig) applyDefaults() {
+	if c.CureThreshold == 0 {
+		c.CureThreshold = 8
+	}
+	if c.DecayEvery == 0 {
+		c.DecayEvery = 4
+	}
+}
+
+func (c TRRConfig) validate() error {
+	switch {
+	case c.TrackerEntries <= 0:
+		return fmt.Errorf("dram: TRR tracker entries %d, need > 0", c.TrackerEntries)
+	case c.MitigationsPerREF <= 0:
+		return fmt.Errorf("dram: TRR mitigations per REF %d, need > 0", c.MitigationsPerREF)
+	case c.RefreshRadius <= 0:
+		return fmt.Errorf("dram: TRR refresh radius %d, need > 0", c.RefreshRadius)
+	}
+	return nil
+}
+
+// trrEngine is the per-bank tracker.
+type trrEngine struct {
+	cfg       TRRConfig
+	tables    []map[int]uint64 // per bank: candidate row -> count
+	missRuns  []int            // per bank: untracked-ACT run length
+	refreshes uint64
+}
+
+func newTRREngine(cfg TRRConfig, geom Geometry, prof DisturbanceProfile) (*trrEngine, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := &trrEngine{
+		cfg:      cfg,
+		tables:   make([]map[int]uint64, geom.Banks),
+		missRuns: make([]int, geom.Banks),
+	}
+	for i := range t.tables {
+		t.tables[i] = make(map[int]uint64, cfg.TrackerEntries)
+	}
+	return t, nil
+}
+
+// onActivate feeds one ACT into the bank's tracker.
+func (t *trrEngine) onActivate(bankIdx, row int) {
+	table := t.tables[bankIdx]
+	if _, ok := table[row]; ok {
+		table[row]++
+		return
+	}
+	if len(table) < t.cfg.TrackerEntries {
+		table[row] = 1
+		return
+	}
+	// Table full and row untracked: apply decay pressure. This is what
+	// > n-sided attacks exploit — their own insert misses churn every
+	// candidate's count back down before it can reach the cure threshold.
+	t.missRuns[bankIdx]++
+	if t.missRuns[bankIdx] < t.cfg.DecayEvery {
+		return
+	}
+	t.missRuns[bankIdx] = 0
+	for r, c := range table {
+		if c <= 1 {
+			delete(table, r)
+		} else {
+			table[r] = c - 1
+		}
+	}
+}
+
+// onRefresh runs at REF time: cure up to MitigationsPerREF candidates that
+// crossed the threshold, refreshing their neighbors and forgetting them.
+func (t *trrEngine) onRefresh(m *Module, cycle uint64) {
+	for bankIdx, table := range t.tables {
+		for i := 0; i < t.cfg.MitigationsPerREF; i++ {
+			top, topCount := -1, uint64(0)
+			for r, c := range table {
+				if c > topCount || (c == topCount && c > 0 && (top == -1 || r < top)) {
+					top, topCount = r, c
+				}
+			}
+			if top < 0 || topCount < t.cfg.CureThreshold {
+				break
+			}
+			if t.cfg.CureWithACT {
+				// Activate-based cure: recharges the victims but lets
+				// their own neighbors absorb disturbance (Half-Double).
+				sub := m.geom.SubarrayOf(top)
+				for dist := 1; dist <= t.cfg.RefreshRadius; dist++ {
+					for _, victim := range [2]int{top - dist, top + dist} {
+						if !m.geom.ValidRow(victim) || m.geom.SubarrayOf(victim) != sub {
+							continue
+						}
+						// Internal ACT: unattributed actor. The cure must
+						// not feed the tracker or it would chase itself.
+						if _, err := m.activateInternal(bankIdx, victim, cycle); err == nil {
+							t.refreshes++
+							m.stats.Inc("dram.trr_mitigations")
+						}
+					}
+				}
+			} else {
+				// The neighbor refresh is internal to DRAM: no MC command.
+				if err := m.RefreshNeighbors(bankIdx, top, t.cfg.RefreshRadius, cycle); err == nil {
+					t.refreshes++
+					m.stats.Inc("dram.trr_mitigations")
+				}
+			}
+			delete(table, top)
+		}
+	}
+}

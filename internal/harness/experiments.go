@@ -1,0 +1,315 @@
+package harness
+
+import (
+	"fmt"
+
+	"hammertime/internal/attack"
+	"hammertime/internal/core"
+	"hammertime/internal/cpu"
+	"hammertime/internal/defense"
+	"hammertime/internal/dram"
+	"hammertime/internal/memctrl"
+	"hammertime/internal/report"
+	"hammertime/internal/workload"
+)
+
+// E1Defenses is the defense lineup of the protection matrix.
+var E1Defenses = []string{
+	"none", "trr", "para", "graphene", "blockhammer",
+	"zebram", "bankpart", "subarray",
+	"actremap", "actlock", "swrefresh", "anvil",
+}
+
+// E1Spec returns the machine configuration of the protection matrix: an
+// LPDDR4-class module, the emerging-DRAM regime §3 is worried about.
+func E1Spec() core.MachineSpec {
+	spec := core.DefaultSpec()
+	spec.Profile = dram.LPDDR4()
+	return spec
+}
+
+// E1Matrix runs every attack in the catalog against every named defense
+// and tabulates cross-domain flips — the reproduction of Table 1's claim
+// that each primitive enables a working defense of its class.
+func E1Matrix(defenses []string, manySided int, opts AttackOpts) (*report.Table, error) {
+	if len(defenses) == 0 {
+		defenses = E1Defenses
+	}
+	attacks := attack.Catalog(manySided)
+	headers := []string{"defense", "class"}
+	for _, a := range attacks {
+		headers = append(headers, a.Name)
+	}
+	tb := report.NewTable("E1: cross-domain flips, attack x defense (LPDDR4)", headers...)
+	for _, name := range defenses {
+		d, err := defense.New(name)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{d.Name(), d.Class().String()}
+		for _, kind := range attacks {
+			out, err := RunAttack(E1Spec(), d, kind, opts)
+			if err != nil {
+				return nil, fmt.Errorf("harness: E1 %s vs %s: %w", name, kind.Name, err)
+			}
+			cell := fmt.Sprintf("%d", out.CrossFlips)
+			if !out.PlannedCross {
+				cell += " (no targets)"
+			}
+			row = append(row, cell)
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}
+
+// E2Scheme is one interleaving configuration of experiment E2.
+type E2Scheme struct {
+	Name string
+	Spec core.MachineSpec
+}
+
+// E2Schemes returns the three §4.1 contenders plus the no-interleaving
+// strawman.
+func E2Schemes() []E2Scheme {
+	full := core.DefaultSpec()
+
+	noInter := core.DefaultSpec()
+	noInter.Interleave = core.InterleaveRowRegion
+
+	bankPart := core.DefaultSpec()
+	bankPart.Interleave = core.InterleaveRowRegion
+	bankPart.Alloc = core.AllocBankAware
+	bankPart.BankPartitions = 4
+
+	sub := core.DefaultSpec()
+	sub.SubarrayGroups = 4
+	sub.Alloc = core.AllocSubarrayAware
+	sub.EnforceDomains = true
+
+	return []E2Scheme{
+		{Name: "line-interleave", Spec: full},
+		{Name: "no-interleave", Spec: noInter},
+		{Name: "bank-partition(4)", Spec: bankPart},
+		{Name: "subarray-isolated(4)", Spec: sub},
+	}
+}
+
+// E2Result is one measured cell of the interleaving experiment.
+type E2Result struct {
+	Scheme   string
+	Workload string
+	Accesses uint64
+	// LossVsInterleave is the throughput loss relative to full
+	// line interleaving, in percent.
+	LossVsInterleave float64
+}
+
+// E2Interleaving measures single-tenant memory throughput (an MLP-8 core,
+// the case where bank-level parallelism matters) under each interleaving
+// scheme. The paper's §4.1 claim: disabling interleaving for bank-aware
+// isolation costs double-digit percent (Tang et al. measured >18%), while
+// subarray-isolated interleaving keeps the full-interleave throughput.
+func E2Interleaving(horizon uint64) (*report.Table, []E2Result, error) {
+	if horizon == 0 {
+		horizon = 2_000_000
+	}
+	type wl struct {
+		name string
+	}
+	workloads := []wl{{"stream"}, {"random"}}
+	tb := report.NewTable("E2: single-tenant throughput by interleaving scheme (MLP-8 core)",
+		"scheme", "workload", "accesses", "loss-vs-interleave%")
+	var results []E2Result
+	base := make(map[string]uint64)
+	for _, scheme := range E2Schemes() {
+		for _, w := range workloads {
+			m, err := core.NewMachine(scheme.Spec)
+			if err != nil {
+				return nil, nil, fmt.Errorf("harness: E2 %s: %w", scheme.Name, err)
+			}
+			// The working set must exceed the LLC (2 MiB) or the cache
+			// absorbs the stream and no scheme differs.
+			tenants, err := SetupTenants(m, 1, 768)
+			if err != nil {
+				return nil, nil, err
+			}
+			var prog cpu.Program
+			switch w.name {
+			case "stream":
+				prog, err = workload.Stream(tenants[0].Lines, 1<<30, 0)
+			case "random":
+				prog, err = workload.Random(tenants[0].Lines, 1<<30, 0, 0.2, m.RNG.Fork())
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			c, err := cpu.NewCore(0, tenants[0].Domain.ID, prog, m.Cache, m.MC)
+			if err != nil {
+				return nil, nil, err
+			}
+			c.MLP = 8
+			if _, err := m.Run([]core.Agent{c}, horizon); err != nil {
+				return nil, nil, err
+			}
+			acc := c.Counters().Accesses
+			key := w.name
+			loss := 0.0
+			if scheme.Name == "line-interleave" {
+				base[key] = acc
+			} else if base[key] > 0 {
+				loss = 100 * (1 - float64(acc)/float64(base[key]))
+			}
+			results = append(results, E2Result{
+				Scheme: scheme.Name, Workload: w.name, Accesses: acc, LossVsInterleave: loss,
+			})
+			tb.AddRowf(scheme.Name, w.name, acc, loss)
+		}
+	}
+	return tb, results, nil
+}
+
+// E3DensityScaling reproduces the §3 trend across DRAM generations: the
+// undefended flip count explodes as the MAC shrinks and the blast radius
+// grows, vendor-style TRR keeps losing ground, the SRAM a Graphene-class
+// tracker needs keeps growing — while the software defense built on the
+// paper's primitives holds at constant hardware cost.
+func E3DensityScaling(horizon uint64) (*report.Table, error) {
+	if horizon == 0 {
+		horizon = 16_000_000
+	}
+	tb := report.NewTable("E3: density scaling across DRAM generations",
+		"generation", "MAC", "blast", "flips(none)", "flips(trr)", "flips(swrefresh)",
+		"graphene-entries/bank")
+	opts := AttackOpts{Horizon: horizon}
+	kind := attack.Kind{Name: "double-sided", Sided: 2}
+	for _, prof := range dram.Generations() {
+		spec := core.DefaultSpec()
+		spec.Profile = prof
+
+		cells := make(map[string]uint64)
+		for _, name := range []string{"none", "trr", "swrefresh"} {
+			d, err := defense.New(name)
+			if err != nil {
+				return nil, err
+			}
+			out, err := RunAttack(spec, d, kind, opts)
+			if err != nil {
+				return nil, fmt.Errorf("harness: E3 %s/%s: %w", prof.Name, name, err)
+			}
+			cells[name] = out.CrossFlips
+		}
+		entries := memctrl.RequiredEntries(spec.Timing.MaxActsPerWindowPerBank(), prof.MAC/4)
+		tb.AddRowf(prof.Name, prof.MAC, prof.BlastRadius,
+			cells["none"], cells["trr"], cells["swrefresh"], entries)
+	}
+	return tb, nil
+}
+
+// E4Defenses is the overhead lineup: the PARA probability sweep shows the
+// §3 scaling pain (protection at small MACs costs throughput), the rest
+// are the E1 defenses under purely benign load.
+var E4Defenses = []string{
+	"none", "para", "graphene", "blockhammer", "zebram", "bankpart",
+	"subarray", "actremap", "actlock", "swrefresh", "anvil", "trr",
+	"refreshx2", "refreshx4", "ecc-scrub",
+}
+
+// E4Overhead measures benign multi-tenant slowdown per defense: three
+// tenants run a stream+random mix with no attacker; the metric is total
+// completed accesses relative to the undefended machine.
+func E4Overhead(horizon uint64, paraProbs []float64) (*report.Table, error) {
+	if horizon == 0 {
+		horizon = 2_000_000
+	}
+	if len(paraProbs) == 0 {
+		paraProbs = []float64{0.0005, 0.001, 0.005, 0.02}
+	}
+	type entry struct {
+		name string
+		d    core.Defense
+	}
+	var entries []entry
+	for _, name := range E4Defenses {
+		if name == "para" {
+			for _, p := range paraProbs {
+				entries = append(entries, entry{name: fmt.Sprintf("para(p=%g)", p), d: defense.PARA{Prob: p}})
+			}
+			continue
+		}
+		d, err := defense.New(name)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, entry{name: d.Name(), d: d})
+	}
+
+	tb := report.NewTable("E4: benign multi-tenant overhead by defense",
+		"defense", "accesses", "slowdown%", "DRAM nJ/access")
+	var baseline uint64
+	for _, e := range entries {
+		acc, energy, err := runBenign(e.d, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("harness: E4 %s: %w", e.name, err)
+		}
+		slowdown := 0.0
+		if e.name == "none" {
+			baseline = acc
+		} else if baseline > 0 {
+			slowdown = 100 * (1 - float64(acc)/float64(baseline))
+		}
+		perAccess := 0.0
+		if acc > 0 {
+			perAccess = energy / 1e3 / float64(acc)
+		}
+		tb.AddRowf(e.name, acc, slowdown, perAccess)
+	}
+	return tb, nil
+}
+
+// runBenign runs three benign tenants (stream + random mix, MLP 4) under
+// the defense and returns their total completed accesses. The combined
+// working set (3 x 2 MiB) exceeds the LLC so the memory system — where
+// every defense lives — is actually exercised.
+func runBenign(d core.Defense, horizon uint64) (uint64, float64, error) {
+	m, err := core.BuildWithDefense(core.DefaultSpec(), d)
+	if err != nil {
+		return 0, 0, err
+	}
+	tenants, err := SetupTenants(m, 3, 512)
+	if err != nil {
+		return 0, 0, err
+	}
+	var agents []core.Agent
+	var cores []*cpu.Core
+	for i, t := range tenants {
+		st, err := workload.Stream(t.Lines, 1<<30, 0)
+		if err != nil {
+			return 0, 0, err
+		}
+		rd, err := workload.Random(t.Lines, 1<<30, 0, 0.3, m.RNG.Fork())
+		if err != nil {
+			return 0, 0, err
+		}
+		c, err := cpu.NewCore(i, t.Domain.ID, workload.Mix(st, rd), m.Cache, m.MC)
+		if err != nil {
+			return 0, 0, err
+		}
+		c.MLP = 4
+		agents = append(agents, c)
+		cores = append(cores, c)
+	}
+	if oc, ok := d.(interface{ ObserveCores([]*cpu.Core) }); ok {
+		oc.ObserveCores(cores)
+	}
+	res, err := m.Run(agents, horizon)
+	if err != nil {
+		return 0, 0, err
+	}
+	var total uint64
+	for _, c := range cores {
+		total += c.Counters().Accesses
+	}
+	energy := dram.DDR4Energy().EstimateWithIO(m.DRAM, res.Stats.Counter("mc.requests"))
+	return total, energy, nil
+}

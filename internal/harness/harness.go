@@ -1,0 +1,218 @@
+// Package harness builds and runs the canonical experiment scenarios
+// (E1-E8 in DESIGN.md) shared by cmd/hammerbench, the benchmark suite and
+// the examples: multi-tenant machines under attack, benign performance
+// runs, and the primitive micro-comparisons of §4.2/§4.3.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"hammertime/internal/attack"
+	"hammertime/internal/core"
+	"hammertime/internal/cpu"
+	"hammertime/internal/dma"
+	"hammertime/internal/hostos"
+	"hammertime/internal/trace"
+	"hammertime/internal/workload"
+)
+
+// Tenant is one trust domain with its allocated memory.
+type Tenant struct {
+	Domain *hostos.Domain
+	// Lines are the physical line indices of the tenant's pages at
+	// allocation time (migration may move them later).
+	Lines []uint64
+}
+
+// SetupTenants creates n tenant domains and allocates pagesEach pages to
+// each, interleaving allocations round-robin across tenants — the
+// allocation churn of a real multi-tenant host, which is what gives
+// attackers cross-domain row adjacency under a policy-free allocator.
+func SetupTenants(m *core.Machine, n, pagesEach int) ([]Tenant, error) {
+	if n <= 0 || pagesEach <= 0 {
+		return nil, fmt.Errorf("harness: need positive tenants (%d) and pages (%d)", n, pagesEach)
+	}
+	tenants := make([]Tenant, n)
+	for i := range tenants {
+		tenants[i].Domain = m.Kernel.CreateDomain(fmt.Sprintf("tenant-%d", i+1), false, false)
+	}
+	lpp := hostos.LinesPerPage(m.Mapper.Geometry())
+	for p := 0; p < pagesEach; p++ {
+		for i := range tenants {
+			frames, err := m.Kernel.AllocPages(tenants[i].Domain.ID, uint64(p), 1)
+			if err != nil {
+				return nil, fmt.Errorf("harness: tenant %d page %d: %w", i+1, p, err)
+			}
+			for l := uint64(0); l < lpp; l++ {
+				tenants[i].Lines = append(tenants[i].Lines, frames[0]*lpp+l)
+			}
+		}
+	}
+	return tenants, nil
+}
+
+// AttackOpts parametrizes RunAttack.
+type AttackOpts struct {
+	// Horizon is the simulation length in cycles (0 means 4_000_000).
+	Horizon uint64
+	// Tenants is the number of domains (0 means 3); tenant 1 attacks.
+	Tenants int
+	// PagesPerTenant is each domain's allocation (0 means 170; enough
+	// rows for well-spaced many-sided patterns).
+	PagesPerTenant int
+	// BenignThink is the benign cores' inter-access think time
+	// (0 means 200 cycles).
+	BenignThink uint64
+	// VictimIntegrity marks non-attacker tenants as integrity-checked
+	// enclaves (§4.4): flips lock the machine up instead of silently
+	// corrupting.
+	VictimIntegrity bool
+	// AttackTrace, when non-nil, records the attacker's access stream as
+	// JSON lines for later replay or offline analysis.
+	AttackTrace io.Writer
+	// ReplayAttack, when non-nil, replaces attack planning entirely: the
+	// recorded events are replayed verbatim as the attacker's stream.
+	ReplayAttack []trace.Event
+}
+
+func (o *AttackOpts) applyDefaults() {
+	if o.Horizon == 0 {
+		o.Horizon = 4_000_000
+	}
+	if o.Tenants == 0 {
+		o.Tenants = 3
+	}
+	if o.PagesPerTenant == 0 {
+		o.PagesPerTenant = 170
+	}
+	if o.BenignThink == 0 {
+		o.BenignThink = 200
+	}
+}
+
+// AttackOutcome reports one attack-vs-defense run.
+type AttackOutcome struct {
+	Defense  string
+	Attack   string
+	PlanKind string
+	// PlannedCross is whether the attacker even found cross-domain
+	// victims to aim at (isolation defenses make this false).
+	PlannedCross bool
+	Flips        uint64
+	CrossFlips   uint64
+	// LockedUp reports an integrity-check machine halt (§4.4).
+	LockedUp bool
+	// BenignSteps is the total completed accesses of the benign tenants.
+	BenignSteps uint64
+	Result      core.RunResult
+}
+
+// Succeeded reports whether the attack corrupted another domain's data.
+func (o AttackOutcome) Succeeded() bool { return o.CrossFlips > 0 }
+
+// RunAttack builds a machine with the defense, sets up tenants, plans and
+// executes the attack from tenant 1 while the other tenants run benign
+// workloads, and reports the outcome.
+func RunAttack(spec core.MachineSpec, d core.Defense, kind attack.Kind, opts AttackOpts) (AttackOutcome, error) {
+	opts.applyDefaults()
+	m, err := core.BuildWithDefense(spec, d)
+	if err != nil {
+		return AttackOutcome{}, err
+	}
+	tenants, err := SetupTenants(m, opts.Tenants, opts.PagesPerTenant)
+	if err != nil {
+		return AttackOutcome{}, err
+	}
+	if opts.VictimIntegrity {
+		for _, t := range tenants[1:] {
+			t.Domain.Enclave = true
+			t.Domain.IntegrityChecked = true
+		}
+	}
+	attacker := tenants[0].Domain.ID
+	radius := m.Spec.Profile.BlastRadius
+
+	var plan attack.Plan
+	var prog cpu.Program
+	if opts.ReplayAttack != nil {
+		plan = attack.Plan{Kind: "replayed-trace"}
+		prog = trace.Replay(opts.ReplayAttack)
+	} else {
+		switch {
+		case kind.Sided <= 1:
+			// Concentrate the ACT budget: hammer a single aggressor row.
+			plan, err = attack.PlanSingleSided(m.Kernel, m.Mapper, attacker, 1, radius)
+		case kind.Sided == 2:
+			plan, err = attack.PlanDoubleSided(m.Kernel, m.Mapper, attacker, 1, radius)
+		default:
+			plan, err = attack.PlanManySided(m.Kernel, m.Mapper, attacker, kind.Sided, radius)
+		}
+		if err != nil {
+			return AttackOutcome{}, fmt.Errorf("harness: plan %s: %w", kind.Name, err)
+		}
+		prog, err = attack.HammerVA(m.Kernel, attacker, plan, 1<<30, !kind.DMA)
+		if err != nil {
+			return AttackOutcome{}, err
+		}
+	}
+	if opts.AttackTrace != nil {
+		prog = trace.Record(prog, trace.NewWriter(opts.AttackTrace))
+	}
+
+	var agents []core.Agent
+	var cores []*cpu.Core
+	if kind.DMA {
+		dev, err := dma.NewDevice(0, attacker, prog, m.MC)
+		if err != nil {
+			return AttackOutcome{}, err
+		}
+		agents = append(agents, dev)
+	} else {
+		c, err := cpu.NewCore(0, attacker, prog, m.Cache, m.MC)
+		if err != nil {
+			return AttackOutcome{}, err
+		}
+		agents = append(agents, c)
+		cores = append(cores, c)
+	}
+	for i, t := range tenants[1:] {
+		wl, err := workload.Stream(t.Lines, 1<<30, opts.BenignThink)
+		if err != nil {
+			return AttackOutcome{}, err
+		}
+		c, err := cpu.NewCore(1+i, t.Domain.ID, wl, m.Cache, m.MC)
+		if err != nil {
+			return AttackOutcome{}, err
+		}
+		agents = append(agents, c)
+		cores = append(cores, c)
+	}
+	// Defenses that sample CPU performance counters get the core list.
+	if oc, ok := d.(interface{ ObserveCores([]*cpu.Core) }); ok {
+		oc.ObserveCores(cores)
+	}
+
+	res, err := m.Run(agents, opts.Horizon)
+	if err != nil {
+		return AttackOutcome{}, err
+	}
+	out := AttackOutcome{
+		Attack:       kind.Name,
+		PlanKind:     plan.Kind,
+		PlannedCross: plan.CrossDomain,
+		Flips:        res.Flips,
+		CrossFlips:   res.CrossFlips,
+		LockedUp:     m.Kernel.LockedUp(),
+		Result:       res,
+	}
+	if d != nil {
+		out.Defense = d.Name()
+	} else {
+		out.Defense = "none"
+	}
+	for i := 1; i < 1+len(tenants)-1; i++ {
+		out.BenignSteps += res.Steps[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"testing"
+
+	"hammertime/internal/attack"
+	"hammertime/internal/core"
+	"hammertime/internal/defense"
+	"hammertime/internal/dram"
+)
+
+// matrixSpec is the E1 configuration: a susceptible LPDDR4-class module
+// (the emerging-DRAM regime §3 worries about).
+func matrixSpec() core.MachineSpec {
+	spec := core.DefaultSpec()
+	spec.Profile = dram.LPDDR4()
+	return spec
+}
+
+// TestProtectionMatrix verifies the E1 "who wins" shape: every attack
+// corrupts the undefended machine; each defense class stops the attacks
+// its mechanism covers and fails exactly where the paper says it fails
+// (TRR vs many-sided, ANVIL vs DMA).
+func TestProtectionMatrix(t *testing.T) {
+	attacks := attack.Catalog(12)
+	// expect[defense][attack] = true if cross-domain corruption expected.
+	cases := []struct {
+		defense string
+		expect  map[string]bool
+	}{
+		{"none", map[string]bool{
+			"single-sided": true, "double-sided": true,
+			"many-sided(12)": true, "dma-double-sided": true,
+		}},
+		// In-DRAM TRR: beats few-sided (CPU or DMA), bypassed by >n sides.
+		{"trr", map[string]bool{
+			"single-sided": false, "double-sided": false,
+			"many-sided(12)": true, "dma-double-sided": false,
+		}},
+		// Isolation class: no cross-domain pairs exist at all.
+		{"zebram", allFalse(attacks)},
+		{"bankpart", allFalse(attacks)},
+		{"subarray", allFalse(attacks)},
+		// Frequency class: per-row rates bounded at the controller.
+		{"blockhammer", allFalse(attacks)},
+		{"actremap", allFalse(attacks)},
+		{"actlock", allFalse(attacks)},
+		// Refresh class over the new primitives: victims refreshed in time.
+		{"swrefresh", allFalse(attacks)},
+		{"swrefresh-refneighbors", allFalse(attacks)},
+		{"graphene", allFalse(attacks)},
+		// ANVIL samples CPU counters only: DMA hammering is invisible.
+		{"anvil", map[string]bool{
+			"single-sided": false, "double-sided": false,
+			"many-sided(12)": false, "dma-double-sided": true,
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.defense, func(t *testing.T) {
+			d, err := defense.New(tc.defense)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, kind := range attacks {
+				out, err := RunAttack(matrixSpec(), d, kind, AttackOpts{})
+				if err != nil {
+					t.Fatalf("%s vs %s: %v", tc.defense, kind.Name, err)
+				}
+				want := tc.expect[kind.Name]
+				got := out.Succeeded()
+				t.Logf("%s vs %s: plan=%s cross-flips=%d total=%d",
+					tc.defense, kind.Name, out.PlanKind, out.CrossFlips, out.Flips)
+				if got != want {
+					t.Errorf("%s vs %s: cross-domain corruption = %v, want %v (plan %s, %d cross flips)",
+						tc.defense, kind.Name, got, want, out.PlanKind, out.CrossFlips)
+				}
+			}
+		})
+	}
+}
+
+func allFalse(attacks []attack.Kind) map[string]bool {
+	m := make(map[string]bool, len(attacks))
+	for _, a := range attacks {
+		m[a.Name] = false
+	}
+	return m
+}

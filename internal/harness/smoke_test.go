@@ -1,0 +1,28 @@
+package harness
+
+import (
+	"testing"
+
+	"hammertime/internal/attack"
+	"hammertime/internal/core"
+	"hammertime/internal/defense"
+)
+
+// TestSmokeUndefendedDoubleSided is the end-to-end sanity check: on an
+// undefended machine, a double-sided attack must corrupt another tenant.
+func TestSmokeUndefendedDoubleSided(t *testing.T) {
+	spec := core.DefaultSpec()
+	out, err := RunAttack(spec, defense.None{}, attack.Kind{Name: "double-sided", Sided: 2}, AttackOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("plan=%s plannedCross=%v flips=%d cross=%d acts=%d benign=%d",
+		out.PlanKind, out.PlannedCross, out.Flips, out.CrossFlips,
+		out.Result.Stats.Counter("mc.acts"), out.BenignSteps)
+	if !out.PlannedCross {
+		t.Fatalf("planner found no cross-domain victims on undefended machine")
+	}
+	if out.CrossFlips == 0 {
+		t.Fatalf("expected cross-domain flips on undefended machine, got none\n%s", out.Result.Stats.String())
+	}
+}

@@ -1,0 +1,354 @@
+package hostos
+
+import (
+	"errors"
+	"fmt"
+
+	"hammertime/internal/addr"
+	"hammertime/internal/dram"
+	"hammertime/internal/sim"
+)
+
+// ErrOutOfMemory is returned when an allocator cannot satisfy a request
+// under its placement policy.
+var ErrOutOfMemory = errors.New("hostos: out of memory under placement policy")
+
+// Allocator hands out physical page frames under a placement policy.
+// Frame numbers index PageSize-sized units of the physical space.
+type Allocator interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Alloc returns a frame for the given domain.
+	Alloc(domain int) (uint64, error)
+	// Free returns a frame to the pool.
+	Free(frame uint64) error
+}
+
+// RandomAllocator is implemented by allocators that can hand out a
+// uniformly random free frame for a domain — what wear-leveling page
+// migration (§4.2) wants, so relocated pages land in fresh, unpredictable
+// neighborhoods.
+type RandomAllocator interface {
+	AllocRandom(domain int, rng *sim.RNG) (uint64, error)
+}
+
+// LinesPerPage returns how many cache lines one page spans.
+func LinesPerPage(g dram.Geometry) uint64 { return PageSize / uint64(g.LineBytes) }
+
+// TotalFrames returns how many page frames the module provides.
+func TotalFrames(g dram.Geometry) uint64 { return g.TotalBytes() / PageSize }
+
+// freePool is a simple ordered free list shared by the policies.
+type freePool struct {
+	free  []uint64 // stack; allocated from the end
+	inUse map[uint64]bool
+}
+
+func newFreePool(frames []uint64) *freePool {
+	// Reverse so Alloc hands out ascending frame numbers.
+	rev := make([]uint64, len(frames))
+	for i, f := range frames {
+		rev[len(frames)-1-i] = f
+	}
+	return &freePool{free: rev, inUse: make(map[uint64]bool)}
+}
+
+func (p *freePool) alloc() (uint64, error) {
+	if len(p.free) == 0 {
+		return 0, ErrOutOfMemory
+	}
+	f := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.inUse[f] = true
+	return f, nil
+}
+
+// allocRandom takes a uniformly random free frame — used by wear-leveling
+// migration so relocated pages land in fresh neighborhoods (and attackers
+// cannot predict the new location).
+func (p *freePool) allocRandom(rng *sim.RNG) (uint64, error) {
+	if len(p.free) == 0 {
+		return 0, ErrOutOfMemory
+	}
+	i := rng.Intn(len(p.free))
+	last := len(p.free) - 1
+	p.free[i], p.free[last] = p.free[last], p.free[i]
+	return p.alloc()
+}
+
+func (p *freePool) release(frame uint64) error {
+	if !p.inUse[frame] {
+		return fmt.Errorf("hostos: free of frame %d not allocated from this pool", frame)
+	}
+	delete(p.inUse, frame)
+	p.free = append(p.free, frame)
+	return nil
+}
+
+// Linear allocates frames in ascending order with no placement policy —
+// the Rowhammer-oblivious default against which defenses are compared.
+type Linear struct {
+	pool *freePool
+}
+
+// NewLinear returns a policy-free allocator over the whole module.
+func NewLinear(g dram.Geometry) *Linear {
+	n := TotalFrames(g)
+	frames := make([]uint64, n)
+	for i := range frames {
+		frames[i] = uint64(i)
+	}
+	return &Linear{pool: newFreePool(frames)}
+}
+
+// Name implements Allocator.
+func (a *Linear) Name() string { return "linear" }
+
+// Alloc implements Allocator.
+func (a *Linear) Alloc(int) (uint64, error) { return a.pool.alloc() }
+
+// Free implements Allocator.
+func (a *Linear) Free(frame uint64) error { return a.pool.release(frame) }
+
+// AllocRandom implements RandomAllocator.
+func (a *Linear) AllocRandom(_ int, rng *sim.RNG) (uint64, error) {
+	return a.pool.allocRandom(rng)
+}
+
+// BankAware is a PALLOC-style allocator: each domain is confined to its
+// own set of banks, so no two domains share a bank and no cross-domain
+// aggressor-victim pair exists. It requires a row-region mapping (bank
+// interleaving disabled), which is exactly why §4.1 criticizes it: the
+// domain loses bank-level parallelism.
+type BankAware struct {
+	mapper  addr.Mapper
+	geom    dram.Geometry
+	domains int
+	pools   []*freePool // per bank-partition
+	assign  map[int]int // domain -> partition
+	nextPar int
+	owner   map[uint64]int // frame -> partition (for Free)
+}
+
+// NewBankAware partitions the mapper's banks into `domains` equal groups.
+func NewBankAware(mapper addr.Mapper, domains int) (*BankAware, error) {
+	g := mapper.Geometry()
+	if domains <= 0 || domains > g.Banks {
+		return nil, fmt.Errorf("hostos: bank-aware allocator: %d domains for %d banks", domains, g.Banks)
+	}
+	a := &BankAware{
+		mapper:  mapper,
+		geom:    g,
+		domains: domains,
+		pools:   make([]*freePool, domains),
+		assign:  make(map[int]int),
+		owner:   make(map[uint64]int),
+	}
+	lpp := LinesPerPage(g)
+	buckets := make([][]uint64, domains)
+	for f := uint64(0); f < TotalFrames(g); f++ {
+		// A frame belongs to a partition only if every line of the page
+		// falls in the partition's banks.
+		par := -1
+		uniform := true
+		for l := uint64(0); l < lpp; l++ {
+			b := mapper.Map(f*lpp + l).Bank
+			p := b * domains / g.Banks
+			if par == -1 {
+				par = p
+			} else if par != p {
+				uniform = false
+				break
+			}
+		}
+		if uniform && par >= 0 {
+			buckets[par] = append(buckets[par], f)
+		}
+	}
+	for i := range a.pools {
+		if len(buckets[i]) == 0 {
+			return nil, fmt.Errorf("hostos: bank-aware allocator: partition %d has no uniform frames under mapper %q (bank interleaving must be disabled)", i, mapper.Name())
+		}
+		a.pools[i] = newFreePool(buckets[i])
+	}
+	return a, nil
+}
+
+// Name implements Allocator.
+func (a *BankAware) Name() string { return "bank-aware" }
+
+// Alloc implements Allocator.
+func (a *BankAware) Alloc(domain int) (uint64, error) {
+	par, ok := a.assign[domain]
+	if !ok {
+		par = a.nextPar % a.domains
+		a.assign[domain] = par
+		a.nextPar++
+	}
+	f, err := a.pools[par].alloc()
+	if err != nil {
+		return 0, fmt.Errorf("hostos: bank-aware: domain %d (partition %d): %w", domain, par, err)
+	}
+	a.owner[f] = par
+	return f, nil
+}
+
+// Free implements Allocator.
+func (a *BankAware) Free(frame uint64) error {
+	par, ok := a.owner[frame]
+	if !ok {
+		return fmt.Errorf("hostos: bank-aware: free of unallocated frame %d", frame)
+	}
+	delete(a.owner, frame)
+	return a.pools[par].release(frame)
+}
+
+// PartitionOf returns the bank partition assigned to domain, if any.
+func (a *BankAware) PartitionOf(domain int) (int, bool) {
+	p, ok := a.assign[domain]
+	return p, ok
+}
+
+// GuardRow is a ZebRAM-style allocator: only frames whose rows are
+// separated from every other usable row by at least `radius` guard rows
+// are usable. No aggressor can reach any allocated victim, across or
+// within domains — at the cost of 1 - 1/(radius+1) of capacity.
+type GuardRow struct {
+	pool   *freePool
+	radius int
+}
+
+// NewGuardRow returns a guard-row allocator for the mapper with the given
+// blast radius. It only admits frames every one of whose rows lies in a
+// "data stripe": row indices r with (r % (radius+1)) == 0.
+func NewGuardRow(mapper addr.Mapper, radius int) (*GuardRow, error) {
+	if radius <= 0 {
+		return nil, fmt.Errorf("hostos: guard-row allocator: radius %d, need > 0", radius)
+	}
+	g := mapper.Geometry()
+	lpp := LinesPerPage(g)
+	var frames []uint64
+	stride := radius + 1
+	for f := uint64(0); f < TotalFrames(g); f++ {
+		usable := true
+		for l := uint64(0); l < lpp; l++ {
+			if mapper.Map(f*lpp+l).Row%stride != 0 {
+				usable = false
+				break
+			}
+		}
+		if usable {
+			frames = append(frames, f)
+		}
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("hostos: guard-row allocator: no usable frames under mapper %q with radius %d", mapper.Name(), radius)
+	}
+	return &GuardRow{pool: newFreePool(frames), radius: radius}, nil
+}
+
+// Name implements Allocator.
+func (a *GuardRow) Name() string { return "zebram-guard" }
+
+// Alloc implements Allocator.
+func (a *GuardRow) Alloc(int) (uint64, error) { return a.pool.alloc() }
+
+// Free implements Allocator.
+func (a *GuardRow) Free(frame uint64) error { return a.pool.release(frame) }
+
+// UsableFraction returns the fraction of capacity the policy can serve.
+func (a *GuardRow) UsableFraction() float64 { return 1 / float64(a.radius+1) }
+
+// SubarrayAware implements the paper's §4.1 software half: each domain
+// allocates only frames from its subarray group's region, so domains are
+// electromagnetically isolated while keeping full bank interleaving.
+type SubarrayAware struct {
+	mapper *addr.SubarrayIsolated
+	pools  []*freePool
+	assign map[int]int
+	next   int
+	owner  map[uint64]int
+	// OnAssign, if set, is called when a domain is bound to a group —
+	// the kernel uses it to register the pair with the MC enforcer.
+	OnAssign func(domain, group int)
+}
+
+// NewSubarrayAware returns an allocator over the mapper's group regions.
+func NewSubarrayAware(mapper *addr.SubarrayIsolated) (*SubarrayAware, error) {
+	g := mapper.Geometry()
+	lpp := LinesPerPage(g)
+	part := mapper.Partition()
+	a := &SubarrayAware{
+		mapper: mapper,
+		pools:  make([]*freePool, part.Groups()),
+		assign: make(map[int]int),
+		owner:  make(map[uint64]int),
+	}
+	for grp := 0; grp < part.Groups(); grp++ {
+		lo, hi, err := mapper.RegionBounds(grp)
+		if err != nil {
+			return nil, err
+		}
+		var frames []uint64
+		for f := lo / lpp; f*lpp+lpp <= hi; f++ {
+			frames = append(frames, f)
+		}
+		if len(frames) == 0 {
+			return nil, fmt.Errorf("hostos: subarray-aware allocator: group %d region is empty", grp)
+		}
+		a.pools[grp] = newFreePool(frames)
+	}
+	return a, nil
+}
+
+// Name implements Allocator.
+func (a *SubarrayAware) Name() string { return "subarray-aware" }
+
+// Alloc implements Allocator.
+func (a *SubarrayAware) Alloc(domain int) (uint64, error) {
+	grp, ok := a.assign[domain]
+	if !ok {
+		grp = a.next % len(a.pools)
+		a.assign[domain] = grp
+		a.next++
+		if a.OnAssign != nil {
+			a.OnAssign(domain, grp)
+		}
+	}
+	f, err := a.pools[grp].alloc()
+	if err != nil {
+		return 0, fmt.Errorf("hostos: subarray-aware: domain %d (group %d): %w", domain, grp, err)
+	}
+	a.owner[f] = grp
+	return f, nil
+}
+
+// Free implements Allocator.
+func (a *SubarrayAware) Free(frame uint64) error {
+	grp, ok := a.owner[frame]
+	if !ok {
+		return fmt.Errorf("hostos: subarray-aware: free of unallocated frame %d", frame)
+	}
+	delete(a.owner, frame)
+	return a.pools[grp].release(frame)
+}
+
+// GroupOf returns the subarray group assigned to domain, if any.
+func (a *SubarrayAware) GroupOf(domain int) (int, bool) {
+	g, ok := a.assign[domain]
+	return g, ok
+}
+
+// AllocRandom implements RandomAllocator within the domain's group.
+func (a *SubarrayAware) AllocRandom(domain int, rng *sim.RNG) (uint64, error) {
+	grp, ok := a.assign[domain]
+	if !ok {
+		return a.Alloc(domain) // first allocation also assigns the group
+	}
+	f, err := a.pools[grp].allocRandom(rng)
+	if err != nil {
+		return 0, fmt.Errorf("hostos: subarray-aware: domain %d (group %d): %w", domain, grp, err)
+	}
+	a.owner[f] = grp
+	return f, nil
+}

@@ -1,0 +1,73 @@
+// Package hostos models the host operating system (hypervisor) of a
+// multi-tenant machine: trust domains (VMs/processes), page allocation
+// policies — including the isolation-centric ones of §2.2/§4.1 of "Stop!
+// Hammer Time" — page tables, page migration, and enclave integrity
+// semantics (§4.4).
+package hostos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PageSize is the host page size in bytes.
+const PageSize = 4096
+
+// HostDomain is the ASID of the trusted host OS itself (never enforced
+// against a subarray group, always allowed the refresh instruction).
+const HostDomain = 0
+
+// Domain is a trust domain: a VM, process or enclave.
+type Domain struct {
+	ID   int
+	Name string
+	// Enclave marks domains whose memory the host is not trusted with
+	// (SGX/TDX/SEV-style, §4.4).
+	Enclave bool
+	// IntegrityChecked marks enclave memory that is integrity-verified on
+	// access: Rowhammer flips cause a detectable failure (machine lockup,
+	// i.e., denial of service) instead of silent corruption.
+	IntegrityChecked bool
+}
+
+// PageTable maps a domain's virtual page numbers to physical frames.
+type PageTable struct {
+	entries map[uint64]uint64
+}
+
+// NewPageTable returns an empty page table.
+func NewPageTable() *PageTable { return &PageTable{entries: make(map[uint64]uint64)} }
+
+// Map installs vpn -> frame, replacing any existing mapping.
+func (pt *PageTable) Map(vpn, frame uint64) { pt.entries[vpn] = frame }
+
+// Unmap removes vpn's mapping.
+func (pt *PageTable) Unmap(vpn uint64) { delete(pt.entries, vpn) }
+
+// Frame returns the frame mapped at vpn.
+func (pt *PageTable) Frame(vpn uint64) (uint64, bool) {
+	f, ok := pt.entries[vpn]
+	return f, ok
+}
+
+// Translate converts a virtual byte address to a physical byte address.
+func (pt *PageTable) Translate(va uint64) (uint64, error) {
+	frame, ok := pt.entries[va/PageSize]
+	if !ok {
+		return 0, fmt.Errorf("hostos: page fault at va %#x (vpn %d unmapped)", va, va/PageSize)
+	}
+	return frame*PageSize + va%PageSize, nil
+}
+
+// VPNs returns the mapped virtual page numbers in ascending order.
+func (pt *PageTable) VPNs() []uint64 {
+	out := make([]uint64, 0, len(pt.entries))
+	for v := range pt.entries {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the number of mapped pages.
+func (pt *PageTable) Size() int { return len(pt.entries) }

@@ -1,0 +1,312 @@
+package hostos
+
+import (
+	"fmt"
+
+	"hammertime/internal/addr"
+	"hammertime/internal/dram"
+	"hammertime/internal/memctrl"
+	"hammertime/internal/sim"
+)
+
+// Kernel is the trusted host OS: it owns the domains, the physical page
+// allocator, per-domain page tables, and the privileged interfaces to the
+// memory controller (refresh instruction, domain registration, page
+// migration). Software defenses act through the kernel.
+type Kernel struct {
+	mc     *memctrl.Controller
+	mapper addr.Mapper
+	geom   dram.Geometry
+	alloc  Allocator
+
+	domains map[int]*Domain
+	tables  map[int]*PageTable
+	nextID  int
+
+	frameOwner map[uint64]int // frame -> domain
+
+	// lockedUp is set when an integrity-checked domain's memory is
+	// corrupted: the machine detects the flip and halts (§4.4 DoS).
+	lockedUp bool
+
+	// migrateRNG, when set, makes MigratePage place pages at uniformly
+	// random free frames (wear-leveling placement, §4.2).
+	migrateRNG *sim.RNG
+	// uncoreMove, when set, copies migrated pages with the controller's
+	// uncore move instruction instead of per-line read+write round trips.
+	uncoreMove bool
+
+	stats *sim.Stats
+}
+
+// NewKernel builds a kernel over the controller and allocator. Domain 0
+// (the host itself) is created implicitly.
+func NewKernel(mc *memctrl.Controller, alloc Allocator) (*Kernel, error) {
+	if mc == nil {
+		return nil, fmt.Errorf("hostos: kernel needs a memory controller")
+	}
+	if alloc == nil {
+		return nil, fmt.Errorf("hostos: kernel needs an allocator")
+	}
+	k := &Kernel{
+		mc:         mc,
+		mapper:     mc.Mapper(),
+		geom:       mc.Mapper().Geometry(),
+		alloc:      alloc,
+		domains:    make(map[int]*Domain),
+		tables:     make(map[int]*PageTable),
+		nextID:     HostDomain + 1,
+		frameOwner: make(map[uint64]int),
+		stats:      &sim.Stats{},
+	}
+	k.domains[HostDomain] = &Domain{ID: HostDomain, Name: "host"}
+	k.tables[HostDomain] = NewPageTable()
+	// If the allocator is subarray-aware and the MC enforces groups,
+	// register assignments as they happen.
+	if sa, ok := alloc.(*SubarrayAware); ok {
+		if enf := mc.Enforcer(); enf != nil {
+			sa.OnAssign = func(domain, group int) {
+				// Registration failures are programming errors
+				// (group out of range) surfaced at assign time.
+				if err := enf.AssignDomain(domain, group); err != nil {
+					panic(fmt.Sprintf("hostos: enforcer registration: %v", err))
+				}
+			}
+		}
+	}
+	return k, nil
+}
+
+// Stats returns the kernel's stats registry.
+func (k *Kernel) Stats() *sim.Stats { return k.stats }
+
+// Allocator returns the kernel's page allocator.
+func (k *Kernel) Allocator() Allocator { return k.alloc }
+
+// CreateDomain registers a new trust domain and returns it.
+func (k *Kernel) CreateDomain(name string, enclave, integrityChecked bool) *Domain {
+	d := &Domain{ID: k.nextID, Name: name, Enclave: enclave, IntegrityChecked: integrityChecked}
+	k.nextID++
+	k.domains[d.ID] = d
+	k.tables[d.ID] = NewPageTable()
+	return d
+}
+
+// Domain returns the domain with the given ID.
+func (k *Kernel) Domain(id int) (*Domain, bool) {
+	d, ok := k.domains[id]
+	return d, ok
+}
+
+// PageTable returns the domain's page table.
+func (k *Kernel) PageTable(domain int) (*PageTable, error) {
+	pt, ok := k.tables[domain]
+	if !ok {
+		return nil, fmt.Errorf("hostos: unknown domain %d", domain)
+	}
+	return pt, nil
+}
+
+// AllocPages allocates and maps n pages at consecutive VPNs starting at
+// startVPN for the domain, returning the allocated frames.
+func (k *Kernel) AllocPages(domain int, startVPN uint64, n int) ([]uint64, error) {
+	pt, err := k.PageTable(domain)
+	if err != nil {
+		return nil, err
+	}
+	frames := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		f, err := k.alloc.Alloc(domain)
+		if err != nil {
+			return frames, fmt.Errorf("hostos: alloc page %d for domain %d: %w", i, domain, err)
+		}
+		pt.Map(startVPN+uint64(i), f)
+		k.frameOwner[f] = domain
+		frames = append(frames, f)
+		k.stats.Inc("os.pages_allocated")
+	}
+	return frames, nil
+}
+
+// FreePage unmaps and frees the domain's page at vpn.
+func (k *Kernel) FreePage(domain int, vpn uint64) error {
+	pt, err := k.PageTable(domain)
+	if err != nil {
+		return err
+	}
+	frame, ok := pt.Frame(vpn)
+	if !ok {
+		return fmt.Errorf("hostos: domain %d vpn %d not mapped", domain, vpn)
+	}
+	pt.Unmap(vpn)
+	delete(k.frameOwner, frame)
+	return k.alloc.Free(frame)
+}
+
+// Translate converts a domain-virtual byte address to a physical line
+// index (the unit the memory system works in).
+func (k *Kernel) Translate(domain int, va uint64) (uint64, error) {
+	pt, err := k.PageTable(domain)
+	if err != nil {
+		return 0, err
+	}
+	pa, err := pt.Translate(va)
+	if err != nil {
+		return 0, err
+	}
+	return pa / uint64(k.geom.LineBytes), nil
+}
+
+// OwnerOfLine returns the domain owning the physical line, if allocated.
+func (k *Kernel) OwnerOfLine(line uint64) (int, bool) {
+	frame := line * uint64(k.geom.LineBytes) / PageSize
+	d, ok := k.frameOwner[frame]
+	return d, ok
+}
+
+// OwnerOfRow returns the set of domains owning lines in the given DDR row.
+func (k *Kernel) OwnerOfRow(d addr.DDR) map[int]bool {
+	owners := make(map[int]bool)
+	for col := 0; col < k.geom.ColumnsPerRow; col++ {
+		line := k.mapper.Unmap(addr.DDR{Bank: d.Bank, Row: d.Row, Column: col})
+		if owner, ok := k.OwnerOfLine(line); ok {
+			owners[owner] = true
+		}
+	}
+	return owners
+}
+
+// RefreshVA executes the privileged refresh instruction on the row backing
+// the domain-virtual address (§4.3). The kernel runs it as the host.
+func (k *Kernel) RefreshVA(domain int, va uint64, autoPrecharge bool, now uint64) (memctrl.ServiceResult, error) {
+	line, err := k.Translate(domain, va)
+	if err != nil {
+		return memctrl.ServiceResult{}, err
+	}
+	k.stats.Inc("os.refresh_instr")
+	return k.mc.RefreshInstruction(line, autoPrecharge, HostDomain, now)
+}
+
+// RefreshLine executes the refresh instruction directly on a physical line.
+func (k *Kernel) RefreshLine(line uint64, autoPrecharge bool, now uint64) (memctrl.ServiceResult, error) {
+	k.stats.Inc("os.refresh_instr")
+	return k.mc.RefreshInstruction(line, autoPrecharge, HostDomain, now)
+}
+
+// MigrationResult reports the cost of a page migration.
+type MigrationResult struct {
+	OldFrame, NewFrame uint64
+	// Completion is when the copy finished.
+	Completion uint64
+}
+
+// MigratePage moves the physical page backing (domain, vpn) to a fresh
+// frame — the "ACT wear-leveling" response to a precise ACT interrupt
+// (§4.2). The copy is issued as kernel read+write traffic so its cost and
+// its own activations are modeled faithfully.
+func (k *Kernel) MigratePage(domain int, vpn uint64, now uint64) (MigrationResult, error) {
+	pt, err := k.PageTable(domain)
+	if err != nil {
+		return MigrationResult{}, err
+	}
+	oldFrame, ok := pt.Frame(vpn)
+	if !ok {
+		return MigrationResult{}, fmt.Errorf("hostos: migrate: domain %d vpn %d not mapped", domain, vpn)
+	}
+	var newFrame uint64
+	if ra, ok := k.alloc.(RandomAllocator); ok && k.migrateRNG != nil {
+		newFrame, err = ra.AllocRandom(domain, k.migrateRNG)
+	} else {
+		newFrame, err = k.alloc.Alloc(domain)
+	}
+	if err != nil {
+		return MigrationResult{}, fmt.Errorf("hostos: migrate: %w", err)
+	}
+	lpp := LinesPerPage(k.geom)
+	t := now
+	for l := uint64(0); l < lpp; l++ {
+		srcLine := oldFrame*lpp + l
+		dstLine := newFrame*lpp + l
+		if k.uncoreMove {
+			res, err := k.mc.UncoreMove(srcLine, dstLine, HostDomain, t)
+			if err != nil {
+				return MigrationResult{}, fmt.Errorf("hostos: migrate move: %w", err)
+			}
+			t = res.Completion
+			continue
+		}
+		src := memctrl.Request{
+			Line:   srcLine,
+			Domain: HostDomain,
+			Source: memctrl.Source{Kind: memctrl.SourceKernel},
+		}
+		res, err := k.mc.ServeRequest(src, t)
+		if err != nil {
+			return MigrationResult{}, fmt.Errorf("hostos: migrate read: %w", err)
+		}
+		dst := src
+		dst.Line = dstLine
+		dst.Write = true
+		res, err = k.mc.ServeRequest(dst, res.Completion)
+		if err != nil {
+			return MigrationResult{}, fmt.Errorf("hostos: migrate write: %w", err)
+		}
+		t = res.Completion
+	}
+	pt.Map(vpn, newFrame)
+	delete(k.frameOwner, oldFrame)
+	k.frameOwner[newFrame] = domain
+	if err := k.alloc.Free(oldFrame); err != nil {
+		return MigrationResult{}, err
+	}
+	k.stats.Inc("os.pages_migrated")
+	return MigrationResult{OldFrame: oldFrame, NewFrame: newFrame, Completion: t}, nil
+}
+
+// EnableUncoreMove makes MigratePage copy pages with the controller's
+// uncore move instruction (§4.2) instead of per-line round trips.
+func (k *Kernel) EnableUncoreMove() { k.uncoreMove = true }
+
+// EnableRandomizedMigration makes MigratePage draw the destination frame
+// uniformly at random from the allocator's free pool (when the allocator
+// supports it), so successive wear-leveling relocations land in disjoint
+// neighborhoods and their disturbance cannot accumulate on one victim.
+func (k *Kernel) EnableRandomizedMigration(rng *sim.RNG) { k.migrateRNG = rng }
+
+// VPNOfLine finds which (domain, vpn) maps the physical line. Linear in
+// the owning domain's page count; used by defenses reacting to interrupts.
+func (k *Kernel) VPNOfLine(line uint64) (domain int, vpn uint64, ok bool) {
+	frame := line * uint64(k.geom.LineBytes) / PageSize
+	domain, ok = k.frameOwner[frame]
+	if !ok {
+		return 0, 0, false
+	}
+	pt := k.tables[domain]
+	for _, v := range pt.VPNs() {
+		if f, _ := pt.Frame(v); f == frame {
+			return domain, v, true
+		}
+	}
+	return 0, 0, false
+}
+
+// ReportFlip attributes a DRAM flip event to its victim domain and applies
+// enclave semantics: corrupting an integrity-checked domain locks up the
+// machine (detected DoS); other domains suffer silent corruption.
+// It returns the victim domain (or -1 for unallocated memory) and whether
+// the flip crossed trust domains relative to aggressorDomain.
+func (k *Kernel) ReportFlip(ev dram.FlipEvent, aggressorDomain int) (victimDomain int, cross bool) {
+	line := k.mapper.Unmap(addr.DDR{Bank: ev.Bank, Row: ev.Row, Column: ev.Column})
+	victim, ok := k.OwnerOfLine(line)
+	if !ok {
+		return -1, false
+	}
+	if d := k.domains[victim]; d != nil && d.IntegrityChecked {
+		k.lockedUp = true
+		k.stats.Inc("os.integrity_lockups")
+	}
+	return victim, victim != aggressorDomain
+}
+
+// LockedUp reports whether an integrity failure halted the machine.
+func (k *Kernel) LockedUp() bool { return k.lockedUp }

@@ -1,0 +1,115 @@
+package memctrl
+
+// AdmissionController is the frequency-centric hardware hook: it may delay
+// requests that would activate a row, bounding per-row ACT rates.
+// BlockHammer (Yağlıkçı et al., HPCA'21) is the canonical implementation.
+type AdmissionController interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Admit returns how many extra cycles the request must wait before
+	// service. wouldAct tells the policy whether service will activate
+	// (bank, row); requests that hit the open row are typically free.
+	Admit(req Request, bank, row int, wouldAct bool, now uint64) uint64
+	// ObserveACT informs the policy that (bank, row) was activated at
+	// start (after any delay it imposed).
+	ObserveACT(bank, row int, start uint64)
+}
+
+// RateLimiter is a BlockHammer-style admission controller: it tracks ACTs
+// per (bank, row) within the current refresh window and stretches the
+// inter-ACT gap of rows that exceed a threshold so no row can surpass
+// MaxActsPerWindow before its scheduled refresh.
+//
+// Real BlockHammer uses paired counting Bloom filters; this model tracks
+// exact per-row counts with epoch halving, which reproduces the same
+// admission behaviour without the (orthogonal) aliasing noise.
+type RateLimiter struct {
+	// MaxActsPerWindow is the per-row ACT budget per refresh window
+	// (set below the module's MAC with safety margin).
+	MaxActsPerWindow uint64
+	// Window is the refresh window in cycles.
+	Window uint64
+	// WatchThreshold is the in-window ACT count after which a row is
+	// considered a suspect and rate-limiting kicks in (BlockHammer's
+	// blacklisting threshold, typically a fraction of the budget).
+	WatchThreshold uint64
+
+	counts    map[[2]int]uint64
+	nextAllow map[[2]int]uint64
+	epochEnd  uint64
+	delayed   uint64
+	totalWait uint64
+}
+
+// NewRateLimiter returns a limiter enforcing maxActs per window cycles,
+// beginning to throttle once a row passes watch (0 means maxActs/2).
+func NewRateLimiter(maxActs, window, watch uint64) *RateLimiter {
+	if watch == 0 {
+		watch = maxActs / 2
+	}
+	return &RateLimiter{
+		MaxActsPerWindow: maxActs,
+		Window:           window,
+		WatchThreshold:   watch,
+		counts:           make(map[[2]int]uint64),
+		nextAllow:        make(map[[2]int]uint64),
+	}
+}
+
+// Name implements AdmissionController.
+func (l *RateLimiter) Name() string { return "blockhammer-ratelimit" }
+
+// Admit implements AdmissionController.
+func (l *RateLimiter) Admit(req Request, bank, row int, wouldAct bool, now uint64) uint64 {
+	if !wouldAct {
+		return 0
+	}
+	l.rotate(now)
+	key := [2]int{bank, row}
+	if l.counts[key] < l.WatchThreshold {
+		return 0
+	}
+	// Suspect row: space remaining ACTs so the budget lasts the window.
+	allowed := l.nextAllow[key]
+	if allowed <= now {
+		return 0
+	}
+	delay := allowed - now
+	l.delayed++
+	l.totalWait += delay
+	return delay
+}
+
+// ObserveACT implements AdmissionController.
+func (l *RateLimiter) ObserveACT(bank, row int, start uint64) {
+	l.rotate(start)
+	key := [2]int{bank, row}
+	l.counts[key]++
+	if l.counts[key] >= l.WatchThreshold {
+		minGap := l.Window / l.MaxActsPerWindow
+		l.nextAllow[key] = start + minGap
+	}
+}
+
+// rotate ages counters at window boundaries: counts halve (epoch overlap,
+// mirroring BlockHammer's dual-filter scheme) rather than reset, so an
+// attacker cannot ride window edges.
+func (l *RateLimiter) rotate(now uint64) {
+	if l.epochEnd == 0 {
+		l.epochEnd = l.Window / 2
+	}
+	for now >= l.epochEnd {
+		for k, c := range l.counts {
+			if c <= 1 {
+				delete(l.counts, k)
+				delete(l.nextAllow, k)
+			} else {
+				l.counts[k] = c / 2
+			}
+		}
+		l.epochEnd += l.Window / 2
+	}
+}
+
+// Delayed returns how many requests were delayed and the total delay.
+func (l *RateLimiter) Delayed() (count, totalCycles uint64) { return l.delayed, l.totalWait }

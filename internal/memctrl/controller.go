@@ -1,0 +1,458 @@
+package memctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"hammertime/internal/addr"
+	"hammertime/internal/dram"
+	"hammertime/internal/sim"
+)
+
+// Config assembles a Controller.
+type Config struct {
+	// Mapper translates physical line indices to DDR addresses (required).
+	Mapper addr.Mapper
+	// DRAM is the module behind the controller (required).
+	DRAM *dram.Module
+
+	// OpenPage selects the row-buffer policy: true leaves rows open
+	// (default); false auto-precharges after every access.
+	OpenPage bool
+	// BurstCycles is the data-bus occupancy per line transfer (default 4).
+	BurstCycles uint64
+
+	// PARAProb, when > 0, enables PARA-style probabilistic neighbor
+	// refresh: each ACT refreshes one neighbor within PARARadius with
+	// this probability.
+	PARAProb   float64
+	PARARadius int
+
+	// Graphene, when non-nil, enables the in-controller Misra-Gries
+	// tracker baseline.
+	Graphene *Graphene
+
+	// Admission, when non-nil, can delay activating requests
+	// (BlockHammer-style rate limiting).
+	Admission AdmissionController
+
+	// Enforcer, when non-nil, checks each request's domain against the
+	// subarray group it touches (§4.1 enforcement).
+	Enforcer *DomainEnforcer
+
+	// Seed seeds the controller's private RNG (PARA coin flips).
+	Seed uint64
+}
+
+// Common controller errors.
+var (
+	// ErrPrivileged is returned when a non-permitted domain executes the
+	// refresh instruction (§4.3: host-privileged).
+	ErrPrivileged = errors.New("memctrl: refresh instruction requires host privilege")
+)
+
+// Controller is the integrated memory controller. It is single-threaded
+// by design: the experiment runner presents requests in arrival order.
+type Controller struct {
+	mapper addr.Mapper
+	dram   *dram.Module
+	geom   dram.Geometry
+	timing dram.Timing
+
+	openPage bool
+	burst    uint64
+
+	bankReady []uint64 // cycle each bank becomes free
+	lastACT   []uint64 // cycle+1 of each bank's last ACT (0 = never); tRC spacing
+	busReady  uint64
+	now       uint64
+
+	nextRef    uint64
+	nextWindow uint64
+
+	paraProb   float64
+	paraRadius int
+
+	counter   actCounter
+	graphene  *Graphene
+	admission AdmissionController
+	enforcer  *DomainEnforcer
+
+	// refreshPermitted gates the refresh instruction; nil means only
+	// domain 0 (the host) may issue it.
+	refreshPermitted func(domain int, line uint64) bool
+
+	rng   *sim.RNG
+	stats *sim.Stats
+}
+
+// NewController validates cfg and builds a controller.
+func NewController(cfg Config) (*Controller, error) {
+	if cfg.Mapper == nil {
+		return nil, fmt.Errorf("memctrl: config needs a Mapper")
+	}
+	if cfg.DRAM == nil {
+		return nil, fmt.Errorf("memctrl: config needs a DRAM module")
+	}
+	if cfg.Mapper.Geometry() != cfg.DRAM.Geometry() {
+		return nil, fmt.Errorf("memctrl: mapper geometry differs from DRAM geometry")
+	}
+	if cfg.PARAProb < 0 || cfg.PARAProb > 1 {
+		return nil, fmt.Errorf("memctrl: PARA probability %g out of [0,1]", cfg.PARAProb)
+	}
+	if cfg.BurstCycles == 0 {
+		cfg.BurstCycles = 4
+	}
+	if cfg.PARARadius == 0 {
+		cfg.PARARadius = 1
+	}
+	g := cfg.DRAM.Geometry()
+	t := cfg.DRAM.Timing()
+	c := &Controller{
+		mapper:     cfg.Mapper,
+		dram:       cfg.DRAM,
+		geom:       g,
+		timing:     t,
+		openPage:   cfg.OpenPage,
+		burst:      cfg.BurstCycles,
+		bankReady:  make([]uint64, g.Banks),
+		lastACT:    make([]uint64, g.Banks),
+		busReady:   0,
+		nextRef:    t.TREFI,
+		nextWindow: t.RefreshWindow,
+		paraProb:   cfg.PARAProb,
+		paraRadius: cfg.PARARadius,
+		graphene:   cfg.Graphene,
+		admission:  cfg.Admission,
+		enforcer:   cfg.Enforcer,
+		rng:        sim.NewRNG(cfg.Seed ^ 0x5bd1e995cafef00d),
+		stats:      &sim.Stats{},
+	}
+	return c, nil
+}
+
+// Stats returns the controller's stats registry.
+func (c *Controller) Stats() *sim.Stats { return c.stats }
+
+// Mapper returns the address mapper in use.
+func (c *Controller) Mapper() addr.Mapper { return c.mapper }
+
+// DRAM returns the module behind the controller.
+func (c *Controller) DRAM() *dram.Module { return c.dram }
+
+// Now returns the latest completion cycle the controller has seen.
+func (c *Controller) Now() uint64 { return c.now }
+
+// EnableACTCounter configures the per-channel activation counter: overflow
+// after threshold ACTs delivers an ACTEvent to handler. precise selects
+// the paper's proposed address-reporting mode; legacy mode (precise=false)
+// reproduces today's ACT_COUNT PMU events, which carry no address.
+func (c *Controller) EnableACTCounter(precise bool, threshold uint64, handler ACTHandler) error {
+	if threshold == 0 {
+		return fmt.Errorf("memctrl: ACT counter threshold must be > 0")
+	}
+	c.counter = actCounter{enabled: true, precise: precise, threshold: threshold, handler: handler}
+	return nil
+}
+
+// DisableACTCounter turns the activation counter off.
+func (c *Controller) DisableACTCounter() { c.counter = actCounter{} }
+
+// ACTOverflows returns how many counter overflow interrupts fired.
+func (c *Controller) ACTOverflows() uint64 { return c.counter.overflows }
+
+// SetRefreshPermission installs the privilege check for the refresh
+// instruction. nil restores the default (only domain 0, the host OS).
+func (c *Controller) SetRefreshPermission(fn func(domain int, line uint64) bool) {
+	c.refreshPermitted = fn
+}
+
+// Enforcer returns the domain enforcer, or nil.
+func (c *Controller) Enforcer() *DomainEnforcer { return c.enforcer }
+
+// catchUpRefresh issues any REF commands scheduled at or before cycle, and
+// resets window-scoped trackers at refresh-window boundaries.
+func (c *Controller) catchUpRefresh(cycle uint64) {
+	for c.nextRef <= cycle {
+		c.dram.Refresh(c.nextRef)
+		c.stats.Inc("mc.ref")
+		busyUntil := c.nextRef + c.timing.TRFC
+		for b := range c.bankReady {
+			if c.bankReady[b] < busyUntil {
+				c.bankReady[b] = busyUntil
+			}
+		}
+		if c.busReady < busyUntil {
+			c.busReady = busyUntil
+		}
+		c.nextRef += c.timing.TREFI
+	}
+	for c.nextWindow <= cycle {
+		if c.graphene != nil {
+			c.graphene.windowReset()
+		}
+		c.nextWindow += c.timing.RefreshWindow
+	}
+}
+
+// ServeRequest services one request arriving at the given cycle and
+// returns scheduling details. Bit flips caused by any activation are
+// visible through the DRAM module's flip observer and counters.
+func (c *Controller) ServeRequest(req Request, arrival uint64) (ServiceResult, error) {
+	c.catchUpRefresh(arrival)
+	d := c.mapper.Map(req.Line)
+
+	var res ServiceResult
+	if c.enforcer != nil {
+		res.Violation = !c.enforcer.Check(req.Domain, d.Row)
+		if res.Violation {
+			c.stats.Inc("mc.domain_violations")
+		}
+	}
+
+	open := c.dram.OpenRow(d.Bank)
+	wouldAct := open != d.Row
+
+	start := arrival
+	if c.admission != nil {
+		delay := c.admission.Admit(req, d.Bank, d.Row, wouldAct, arrival)
+		if delay > 0 {
+			c.stats.Add("mc.throttle_cycles", int64(delay))
+			c.stats.Inc("mc.throttled")
+			res.ThrottleDelay = delay
+			start += delay
+		}
+	}
+	if br := c.bankReady[d.Bank]; br > start {
+		start = br
+	}
+
+	var lat uint64
+	switch {
+	case !wouldAct:
+		lat = c.timing.RowHitLatency()
+		res.RowHit = true
+		c.stats.Inc("mc.row_hits")
+	case open < 0:
+		lat = c.timing.RowEmptyLatency()
+		c.stats.Inc("mc.row_empty")
+	default:
+		lat = c.timing.RowMissLatency()
+		c.stats.Inc("mc.row_conflicts")
+	}
+
+	if wouldAct {
+		// Respect tRC: back-to-back ACTs to one bank cannot be closer
+		// than TRC — this bounds the hammer rate.
+		if last := c.lastACT[d.Bank]; last > 0 && start < last-1+c.timing.TRC {
+			next := last - 1 + c.timing.TRC
+			lat += next - start
+			start = next
+		}
+		if err := c.activate(d.Bank, d.Row, start, req); err != nil {
+			return ServiceResult{}, err
+		}
+		res.Activated = true
+	}
+
+	// Serialize data transfer on the shared channel bus.
+	dataReady := start + lat
+	if c.busReady > dataReady {
+		dataReady = c.busReady
+	}
+	completion := dataReady + c.burst
+	c.busReady = completion
+
+	c.bankReady[d.Bank] = start + lat
+	if c.openPage {
+		// Row stays open for locality.
+	} else {
+		if err := c.dram.Precharge(d.Bank); err != nil {
+			return ServiceResult{}, err
+		}
+		c.bankReady[d.Bank] += c.timing.TRP
+	}
+
+	if completion > c.now {
+		c.now = completion
+	}
+	res.Start = start
+	res.Completion = completion
+	c.stats.Inc("mc.requests")
+	if req.Write {
+		c.stats.Inc("mc.writes")
+	}
+	if req.Source.Kind == SourceDMA {
+		c.stats.Inc("mc.dma_requests")
+	}
+	return res, nil
+}
+
+// activate performs the ACT command plus all controller-side hooks:
+// the activation counter, PARA, Graphene, and admission bookkeeping.
+func (c *Controller) activate(bank, row int, start uint64, req Request) error {
+	if _, err := c.dram.Activate(bank, row, start, req.Domain); err != nil {
+		return err
+	}
+	c.lastACT[bank] = start + 1
+	c.stats.Inc("mc.acts")
+
+	c.counter.onACT(ACTEvent{
+		Cycle:   start,
+		HasAddr: true,
+		Line:    req.Line,
+		Bank:    bank,
+		Row:     row,
+		Domain:  req.Domain,
+		Source:  req.Source,
+	})
+
+	if c.paraProb > 0 && c.rng.Bool(c.paraProb) {
+		// PARA: refresh one uniformly-chosen neighbor within the radius.
+		off := 1 + c.rng.Intn(c.paraRadius)
+		if c.rng.Bool(0.5) {
+			off = -off
+		}
+		victim := row + off
+		if c.geom.ValidRow(victim) && c.geom.SameSubarray(row, victim) {
+			if err := c.dram.RefreshRow(bank, victim); err != nil {
+				return err
+			}
+			c.stats.Inc("mc.para_refreshes")
+			c.bankReady[bank] += c.timing.TRC // refresh occupies the bank
+		}
+	}
+
+	if c.graphene != nil {
+		if hot := c.graphene.onACT(bank, row); hot >= 0 {
+			radius := c.graphene.Radius
+			if err := c.dram.RefreshNeighbors(bank, hot, radius, start); err != nil {
+				return err
+			}
+			c.stats.Inc("mc.graphene_refreshes")
+			c.bankReady[bank] += c.timing.TRC * uint64(2*radius)
+		}
+	}
+
+	if c.admission != nil {
+		c.admission.ObserveACT(bank, row, start)
+	}
+	return nil
+}
+
+// RefreshInstruction implements the proposed host-privileged refresh
+// instruction (§4.3): translate line to its row, PRE the bank, ACT the row
+// (which recharges it), and optionally PRE again. The ACT is a real
+// activation — it disturbs the row's own neighbors, which is exactly why
+// the instruction must be privileged.
+func (c *Controller) RefreshInstruction(line uint64, autoPrecharge bool, domain int, now uint64) (ServiceResult, error) {
+	permitted := domain == 0
+	if c.refreshPermitted != nil {
+		permitted = c.refreshPermitted(domain, line)
+	}
+	if !permitted {
+		c.stats.Inc("mc.refresh_instr_denied")
+		return ServiceResult{}, fmt.Errorf("%w (domain %d)", ErrPrivileged, domain)
+	}
+	c.catchUpRefresh(now)
+	d := c.mapper.Map(line)
+
+	start := now
+	if br := c.bankReady[d.Bank]; br > start {
+		start = br
+	}
+	if last := c.lastACT[d.Bank]; last > 0 && start < last-1+c.timing.TRC {
+		start = last - 1 + c.timing.TRC
+	}
+
+	lat := c.timing.TRP + c.timing.TRCD // PRE + ACT settle
+	if err := c.dram.Precharge(d.Bank); err != nil {
+		return ServiceResult{}, err
+	}
+	if err := c.activate(d.Bank, d.Row, start, Request{Line: line, Domain: domain, Source: Source{Kind: SourceKernel}}); err != nil {
+		return ServiceResult{}, err
+	}
+	if autoPrecharge {
+		if err := c.dram.Precharge(d.Bank); err != nil {
+			return ServiceResult{}, err
+		}
+		lat += c.timing.TRP
+	}
+	c.bankReady[d.Bank] = start + lat
+	completion := start + lat
+	if completion > c.now {
+		c.now = completion
+	}
+	c.stats.Inc("mc.refresh_instr")
+	return ServiceResult{Start: start, Completion: completion, Activated: true}, nil
+}
+
+// UncoreMove implements the §4.2 proposed uncore move instruction: the
+// controller copies one line DRAM-to-DRAM through its internal buffers.
+// Compared with a software copy the read and the write overlap (they
+// are issued with the same arrival, so different banks proceed in
+// parallel) and no data crosses to the core or pollutes the cache.
+// Host-privileged like the refresh instruction.
+func (c *Controller) UncoreMove(src, dst uint64, domain int, now uint64) (ServiceResult, error) {
+	permitted := domain == 0
+	if c.refreshPermitted != nil {
+		permitted = c.refreshPermitted(domain, src) && c.refreshPermitted(domain, dst)
+	}
+	if !permitted {
+		return ServiceResult{}, fmt.Errorf("%w (domain %d)", ErrPrivileged, domain)
+	}
+	rd, err := c.ServeRequest(Request{Line: src, Domain: domain, Source: Source{Kind: SourceKernel}}, now)
+	if err != nil {
+		return ServiceResult{}, fmt.Errorf("memctrl: uncore move read: %w", err)
+	}
+	wr, err := c.ServeRequest(Request{Line: dst, Write: true, Domain: domain, Source: Source{Kind: SourceKernel}}, now)
+	if err != nil {
+		return ServiceResult{}, fmt.Errorf("memctrl: uncore move write: %w", err)
+	}
+	completion := rd.Completion
+	if wr.Completion > completion {
+		completion = wr.Completion
+	}
+	c.stats.Inc("mc.uncore_moves")
+	return ServiceResult{Start: now, Completion: completion, Activated: rd.Activated || wr.Activated}, nil
+}
+
+// RefreshNeighborsCmd issues the optional REF_NEIGHBORS DDR command
+// (§4.3): DRAM internally refreshes the potential victims of the line's
+// row up to radius rows away. Requires DRAM-side support; exposed so
+// defenses can compare against the refresh-instruction path.
+func (c *Controller) RefreshNeighborsCmd(line uint64, radius int, domain int, now uint64) (ServiceResult, error) {
+	permitted := domain == 0
+	if c.refreshPermitted != nil {
+		permitted = c.refreshPermitted(domain, line)
+	}
+	if !permitted {
+		return ServiceResult{}, fmt.Errorf("%w (domain %d)", ErrPrivileged, domain)
+	}
+	c.catchUpRefresh(now)
+	d := c.mapper.Map(line)
+	start := now
+	if br := c.bankReady[d.Bank]; br > start {
+		start = br
+	}
+	if err := c.dram.RefreshNeighbors(d.Bank, d.Row, radius, start); err != nil {
+		return ServiceResult{}, err
+	}
+	lat := c.timing.TRC * uint64(2*radius)
+	c.bankReady[d.Bank] = start + lat
+	completion := start + lat
+	if completion > c.now {
+		c.now = completion
+	}
+	c.stats.Inc("mc.ref_neighbors_cmd")
+	return ServiceResult{Start: start, Completion: completion}, nil
+}
+
+// AdvanceTo runs the refresh schedule forward to cycle without serving any
+// request (idle time).
+func (c *Controller) AdvanceTo(cycle uint64) {
+	c.catchUpRefresh(cycle)
+	if cycle > c.now {
+		c.now = cycle
+	}
+}

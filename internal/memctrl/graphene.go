@@ -1,0 +1,87 @@
+package memctrl
+
+// Graphene is the in-controller hardware baseline of Park et al.
+// (MICRO'20): a Misra-Gries frequency summary over row activations that
+// issues a targeted neighbor refresh whenever a row's estimated count
+// crosses a threshold. Correct protection requires one table entry per
+// threshold-quantum of the per-window ACT budget — SRAM/CAM area that
+// grows as the MAC shrinks (the §3 scaling problem the paper highlights;
+// experiment E3 reports this cost model).
+type Graphene struct {
+	// Entries is the Misra-Gries table size per bank.
+	Entries int
+	// Threshold is the estimated-count trigger for a neighbor refresh
+	// (typically MAC/2 to tolerate estimation slack).
+	Threshold uint64
+	// Radius is the neighbor refresh radius.
+	Radius int
+
+	tables    []map[int]uint64
+	spill     []uint64 // per-bank Misra-Gries decrement floor
+	refreshes uint64
+}
+
+// NewGraphene returns a tracker with the given per-bank table size,
+// trigger threshold and refresh radius.
+func NewGraphene(banks, entries int, threshold uint64, radius int) *Graphene {
+	g := &Graphene{
+		Entries:   entries,
+		Threshold: threshold,
+		Radius:    radius,
+		tables:    make([]map[int]uint64, banks),
+		spill:     make([]uint64, banks),
+	}
+	for i := range g.tables {
+		g.tables[i] = make(map[int]uint64, entries)
+	}
+	return g
+}
+
+// RequiredEntries returns the table size Graphene needs per bank for
+// complete protection: the per-window per-bank ACT budget divided by the
+// threshold. This is the SRAM-cost model of experiment E3.
+func RequiredEntries(actBudgetPerWindow, threshold uint64) int {
+	if threshold == 0 {
+		return 0
+	}
+	return int((actBudgetPerWindow + threshold - 1) / threshold)
+}
+
+// onACT feeds one activation; it returns the row to neighbor-refresh
+// (>= 0) when the threshold fires, or -1.
+func (g *Graphene) onACT(bank, row int) int {
+	t := g.tables[bank]
+	if _, ok := t[row]; ok {
+		t[row]++
+	} else if len(t) < g.Entries {
+		t[row] = g.spill[bank] + 1
+	} else {
+		// Misra-Gries: raise the floor instead of decrementing every
+		// entry; evict entries at the floor.
+		g.spill[bank]++
+		for r, c := range t {
+			if c <= g.spill[bank] {
+				delete(t, r)
+			}
+		}
+		return -1
+	}
+	if t[row]-g.spill[bank] >= g.Threshold {
+		// Trigger: refresh neighbors and rearm the entry.
+		t[row] = g.spill[bank]
+		g.refreshes++
+		return row
+	}
+	return -1
+}
+
+// Refreshes returns how many neighbor refreshes the tracker triggered.
+func (g *Graphene) Refreshes() uint64 { return g.refreshes }
+
+// windowReset clears the tables at refresh-window boundaries.
+func (g *Graphene) windowReset() {
+	for i := range g.tables {
+		g.tables[i] = make(map[int]uint64, g.Entries)
+		g.spill[i] = 0
+	}
+}

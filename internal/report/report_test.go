@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "2")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Fatalf("title line: %q", lines[0])
+	}
+	// Header and rows must align on the widest cell.
+	if len(lines[1]) != len(lines[3]) {
+		t.Fatalf("misaligned rows:\n%s", out)
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	if got := tb.Rows[0]; len(got) != 3 || got[1] != "" {
+		t.Fatalf("row = %v", got)
+	}
+}
+
+func TestAddRowfFormats(t *testing.T) {
+	tb := NewTable("", "x", "f")
+	tb.AddRowf(42, 3.14159)
+	if tb.Rows[0][0] != "42" || tb.Rows[0][1] != "3.14" {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestRenderCSVQuotes(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `say "hi"`)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,94 @@
+// Package sim provides deterministic simulation primitives shared by the
+// rest of the hammertime simulator: a seeded pseudo-random number generator
+// and a stats counter registry.
+//
+// Everything in the simulator that needs randomness draws it from an RNG
+// seeded at experiment construction, so every run is reproducible
+// bit-for-bit regardless of host or scheduling.
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random number generator based
+// on splitmix64. It is not cryptographically secure; it exists so that
+// simulations are reproducible across runs and platforms.
+//
+// The zero value is a valid generator seeded with 0. RNG is not safe for
+// concurrent use; give each goroutine its own (forked) generator.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Seed resets the generator to the given seed.
+func (r *RNG) Seed(seed uint64) { r.state = seed }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a pseudo-random uint64 in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n called with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a pseudo-random boolean that is true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes s in place.
+func (r *RNG) Shuffle(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Fork returns a new generator whose stream is decorrelated from r's but
+// still a pure function of r's current state. Use it to hand independent
+// streams to sub-components without sharing a generator.
+func (r *RNG) Fork() *RNG {
+	return &RNG{state: r.Uint64() ^ 0xa5a5a5a5deadbeef}
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedReset(t *testing.T) {
+	r := NewRNG(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after reseed, value %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiverge(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 returned %g, want [0, 1)", f)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(4)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	for n := 1; n <= 64; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	NewRNG(1).Uint64n(0)
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	r := NewRNG(6)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(7)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) rate = %g", got)
+	}
+}
+
+// TestRNGPermIsPermutation is the property test: Perm(n) always returns a
+// permutation of [0, n).
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(8)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGShufflePreservesElements(t *testing.T) {
+	r := NewRNG(9)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(s)
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element sum: %d != %d", got, sum)
+	}
+}
+
+func TestRNGForkDecorrelates(t *testing.T) {
+	r := NewRNG(10)
+	f := r.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == f.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked stream tracks parent: %d/100 identical", same)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	var s Stats
+	s.Inc("a")
+	s.Add("a", 2)
+	s.Add("b", -1)
+	if got := s.Counter("a"); got != 3 {
+		t.Fatalf("counter a = %d, want 3", got)
+	}
+	if got := s.Counter("b"); got != -1 {
+		t.Fatalf("counter b = %d, want -1", got)
+	}
+	if got := s.Counter("missing"); got != 0 {
+		t.Fatalf("missing counter = %d, want 0", got)
+	}
+}
+
+func TestStatsGauges(t *testing.T) {
+	var s Stats
+	s.SetGauge("x", 1.5)
+	s.SetGauge("x", 2.5)
+	if got := s.Gauge("x"); got != 2.5 {
+		t.Fatalf("gauge x = %g, want 2.5", got)
+	}
+}
+
+func TestStatsNamesSorted(t *testing.T) {
+	var s Stats
+	s.Inc("zeta")
+	s.Inc("alpha")
+	s.Inc("mid")
+	names := s.CounterNames()
+	want := []string{"alpha", "mid", "zeta"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	var a, b Stats
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 3)
+	b.SetGauge("g", 9)
+	a.Merge(&b)
+	if a.Counter("x") != 3 || a.Counter("y") != 3 || a.Gauge("g") != 9 {
+		t.Fatalf("merge result wrong: %s", a.String())
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	var s Stats
+	s.Inc("a")
+	s.SetGauge("g", 1)
+	s.Reset()
+	if s.Counter("a") != 0 || s.Gauge("g") != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	// Reset stats must be reusable.
+	s.Inc("a")
+	if s.Counter("a") != 1 {
+		t.Fatal("stats unusable after reset")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	var s Stats
+	s.Add("n", 5)
+	s.SetGauge("g", 0.5)
+	got := s.String()
+	if got != "n=5\ng=0.5\n" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats is an ordered registry of named integer counters and float gauges.
+// Components of the simulator record events into a shared Stats so that
+// experiments can report them uniformly.
+//
+// The zero value is ready to use. Stats is not safe for concurrent use;
+// the simulator is single-threaded by design (determinism).
+type Stats struct {
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// Add increments the named counter by delta, creating it if needed.
+func (s *Stats) Add(name string, delta int64) {
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	s.counters[name] += delta
+}
+
+// Inc increments the named counter by one.
+func (s *Stats) Inc(name string) { s.Add(name, 1) }
+
+// Counter returns the value of the named counter (zero if never written).
+func (s *Stats) Counter(name string) int64 { return s.counters[name] }
+
+// SetGauge records a float gauge value, overwriting any previous value.
+func (s *Stats) SetGauge(name string, v float64) {
+	if s.gauges == nil {
+		s.gauges = make(map[string]float64)
+	}
+	s.gauges[name] = v
+}
+
+// Gauge returns the value of the named gauge (zero if never written).
+func (s *Stats) Gauge(name string) float64 { return s.gauges[name] }
+
+// CounterNames returns all counter names in sorted order.
+func (s *Stats) CounterNames() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GaugeNames returns all gauge names in sorted order.
+func (s *Stats) GaugeNames() []string {
+	names := make([]string, 0, len(s.gauges))
+	for n := range s.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset clears all counters and gauges.
+func (s *Stats) Reset() {
+	s.counters = nil
+	s.gauges = nil
+}
+
+// Merge adds every counter from other into s and copies other's gauges
+// (overwriting same-named gauges in s).
+func (s *Stats) Merge(other *Stats) {
+	for n, v := range other.counters {
+		s.Add(n, v)
+	}
+	for n, v := range other.gauges {
+		s.SetGauge(n, v)
+	}
+}
+
+// String renders the stats as "name=value" lines in sorted order, counters
+// first. It is intended for debugging and test failure messages.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for _, n := range s.CounterNames() {
+		fmt.Fprintf(&b, "%s=%d\n", n, s.counters[n])
+	}
+	for _, n := range s.GaugeNames() {
+		fmt.Fprintf(&b, "%s=%g\n", n, s.gauges[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hammertime/internal/addr"
+	"hammertime/internal/cpu"
+	"hammertime/internal/dram"
+)
+
+func progFromAccesses(accs []cpu.Access) cpu.Program {
+	i := 0
+	return cpu.ProgramFunc(func() (cpu.Access, bool) {
+		if i >= len(accs) {
+			return cpu.Access{}, false
+		}
+		a := accs[i]
+		i++
+		return a, true
+	})
+}
+
+// TestRecordReplayRoundTrip is the core property: for any access stream,
+// record-then-replay reproduces the stream exactly.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	f := func(lines []uint16, flags []bool) bool {
+		var accs []cpu.Access
+		for i, l := range lines {
+			a := cpu.Access{Line: uint64(l), Think: uint64(l % 7)}
+			if i < len(flags) {
+				a.Write = flags[i]
+				a.Flush = !flags[i]
+			}
+			accs = append(accs, a)
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		rec := Record(progFromAccesses(accs), w)
+		for {
+			if _, ok := rec.Next(); !ok {
+				break
+			}
+		}
+		if w.Count() != uint64(len(accs)) {
+			return false
+		}
+		events, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		rep := Replay(events)
+		for _, want := range accs {
+			got, ok := rep.Next()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := rep.Next()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{\"seq\":0}\nnot json\n")); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	events, err := Read(strings.NewReader("{\"seq\":0,\"line\":5}\n\n{\"seq\":1,\"line\":6}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].Line != 6 {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestSummarizeHottestFirst(t *testing.T) {
+	m := addr.NewLineInterleave(dram.DefaultGeometry())
+	g := dram.DefaultGeometry()
+	stripe := uint64(g.Banks * g.ColumnsPerRow)
+	var events []Event
+	// Row 1 of bank 0 hit 5 times, row 0 of bank 0 twice.
+	for i := 0; i < 5; i++ {
+		events = append(events, Event{Line: stripe})
+	}
+	events = append(events, Event{Line: 0}, Event{Line: 0})
+	stats := Summarize(events, m)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Row != 1 || stats[0].Accesses != 5 {
+		t.Fatalf("hottest = %+v", stats[0])
+	}
+	if stats[1].Row != 0 || stats[1].Accesses != 2 {
+		t.Fatalf("second = %+v", stats[1])
+	}
+}
+
+func TestRecordSinkFailureEndsProgram(t *testing.T) {
+	w := NewWriter(failingWriter{})
+	rec := Record(progFromAccesses([]cpu.Access{{Line: 1}, {Line: 2}}), w)
+	if _, ok := rec.Next(); ok {
+		t.Fatal("program continued past a failing trace sink")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, &writeErr{}
+}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink failed" }
