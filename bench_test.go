@@ -352,3 +352,96 @@ func BenchmarkHammerThroughput(b *testing.B) {
 		now = res.Completion
 	}
 }
+
+// --- ACT hot-path benchmarks (dense per-bank state) ---
+
+// BenchmarkActHotPath measures the per-activation cost of the DRAM module
+// with its dense disturbance/ACT-count slices, plain and with the in-DRAM
+// TRR tracker engaged. The stride-7 row walk (as in BenchmarkDRAMActivate)
+// spreads disturbance so the path is pure bookkeeping; steady state is
+// 0 allocs/op.
+func BenchmarkActHotPath(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		trr  bool
+	}{{"plain", false}, {"trr", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := dram.Config{Seed: 1}
+			if v.trr {
+				trr := dram.DefaultTRR()
+				cfg.TRR = &trr
+			}
+			m, err := dram.NewModule(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Activate(i%8, (i*7)%1024, uint64(i), -1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMCActCounterHotPath measures the controller's full per-ACT
+// bookkeeping stack — the ACT counter, the Graphene Misra-Gries tracker,
+// and the BlockHammer rate limiter — under row-conflict traffic where
+// every request activates. All three index dense per-bank state; steady
+// state is 0 allocs/op.
+func BenchmarkMCActCounterHotPath(b *testing.B) {
+	mod, err := dram.NewModule(dram.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := mod.Geometry()
+	mc, err := memctrl.NewController(memctrl.Config{
+		Mapper:    addr.NewLineInterleave(g),
+		DRAM:      mod,
+		OpenPage:  true,
+		Graphene:  memctrl.NewGraphene(g.Banks, 16, 1<<20, 1),
+		Admission: memctrl.NewRateLimiter(g, 1<<20, 64_000_000, 0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := mc.EnableACTCounter(true, 1<<20, func(memctrl.ACTEvent) uint64 { return 0 }); err != nil {
+		b.Fatal(err)
+	}
+	stripe := uint64(g.Banks * g.ColumnsPerRow)
+	now := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := uint64((i*7)%1024)*stripe + uint64(i%8)*uint64(g.ColumnsPerRow)
+		res, err := mc.ServeRequest(memctrl.Request{Line: line}, now)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = res.Completion
+	}
+}
+
+// BenchmarkE1MatrixParallel contrasts the serial and pooled harness on
+// the same E1 grid as BenchmarkE1ProtectionMatrix. Tables are
+// byte-identical either way; on a multi-core host the parallel variant
+// shows the worker-pool speedup.
+func BenchmarkE1MatrixParallel(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := harness.E1Matrix(
+					[]string{"none", "trr", "subarray", "actremap", "swrefresh", "anvil"},
+					12, harness.AttackOpts{Horizon: 2_000_000, Parallelism: v.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -7,7 +7,14 @@
 //
 // Usage:
 //
-//	hammerbench [-experiment all|e1|..|e10] [-horizon N] [-csv]
+//	hammerbench [-experiment all|e1|..|e10] [-horizon N] [-csv] [-parallel N]
+//
+// Experiments fan their independent (defense, attack, sweep-point) cells
+// across a worker pool; -parallel caps the pool (0 = one worker per CPU,
+// 1 = serial). Parallel and serial runs produce byte-identical tables —
+// every cell simulates its own machine from a fixed seed — so -parallel
+// only changes wall-clock time, which is reported per experiment on
+// stderr to keep -csv output on stdout clean.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hammertime/internal/harness"
 	"hammertime/internal/report"
@@ -25,8 +33,10 @@ func main() {
 		experiment = flag.String("experiment", "all", "which experiment to run (all, e1..e10)")
 		horizon    = flag.Uint64("horizon", 0, "simulation horizon in cycles (0 = per-experiment default)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel   = flag.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	harness.SetParallelism(*parallel)
 	if err := run(strings.ToLower(*experiment), *horizon, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "hammerbench:", err)
 		os.Exit(1)
@@ -71,10 +81,13 @@ func run(experiment string, horizon uint64, csv bool) error {
 			continue
 		}
 		ran = true
+		start := time.Now()
 		tb, err := e.gen()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
+		fmt.Fprintf(os.Stderr, "%s: %v (%d workers)\n",
+			e.id, time.Since(start).Round(time.Millisecond), harness.Parallelism())
 		if csv {
 			if err := tb.RenderCSV(os.Stdout); err != nil {
 				return err

@@ -255,7 +255,7 @@ func NewMachine(spec MachineSpec) (*Machine, error) {
 			// MAC/4 leaves margin for multiple aggressors summing at a victim.
 			rl.MaxActsPerWindow = spec.Profile.MAC / 4
 		}
-		admission = memctrl.NewRateLimiter(rl.MaxActsPerWindow, spec.Timing.RefreshWindow, rl.WatchThreshold)
+		admission = memctrl.NewRateLimiter(spec.Geometry, rl.MaxActsPerWindow, spec.Timing.RefreshWindow, rl.WatchThreshold)
 	}
 
 	mc, err := memctrl.NewController(memctrl.Config{

@@ -1,6 +1,8 @@
 package defense
 
 import (
+	"sort"
+
 	"hammertime/internal/addr"
 	"hammertime/internal/core"
 	"hammertime/internal/cpu"
@@ -149,9 +151,22 @@ func (a *anvilDaemon) Step(now uint64) (uint64, bool, error) {
 			hot[[2]int{dd.Bank, dd.Row}]++
 		}
 	}
+	// The refresh loads below advance the bank clocks, so the order the
+	// hot rows are serviced in is simulation-visible: iterate them in a
+	// fixed (bank, row) order, not randomized map order.
+	keys := make([][2]int, 0, len(hot))
+	for key := range hot {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
 	t := now
-	for key, n := range hot {
-		if n < d.HotSamples {
+	for _, key := range keys {
+		if hot[key] < d.HotSamples {
 			continue
 		}
 		d.triggers++

@@ -3,6 +3,7 @@ package dram
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"hammertime/internal/ecc"
 	"hammertime/internal/sim"
@@ -93,15 +94,17 @@ type Module struct {
 	flipped   map[uint64]bool
 }
 
-// bank holds per-bank dynamic state.
+// bank holds per-bank dynamic state. The per-row arrays are dense —
+// indexed by bank-local row and sized from the geometry at construction —
+// so the ACT hot path (Activate -> disturbRow) is pure indexing with zero
+// allocations and no map-hash overhead in the steady state.
 type bank struct {
 	openRow int // -1 when precharged
 	// disturb accumulates distance-weighted aggressor ACTs per victim row
-	// since the victim's last refresh. Sparse: rows never disturbed since
-	// their last refresh are absent.
-	disturb map[int]float64
+	// since the victim's last refresh (0 = fully charged).
+	disturb []float64
 	// acts counts ACTs per row since the row's last refresh (stats, TRR).
-	acts map[int]uint64
+	acts []uint64
 }
 
 // NewModule constructs a module from cfg, applying defaults for zero
@@ -147,8 +150,9 @@ func NewModule(cfg Config) (*Module, error) {
 		m.checks = make(map[uint64][8]uint8)
 		m.originals = make(map[uint64][]byte)
 	}
+	rows := cfg.Geometry.RowsPerBank()
 	for i := range m.banks {
-		m.banks[i] = bank{openRow: -1, disturb: make(map[int]float64), acts: make(map[int]uint64)}
+		m.banks[i] = bank{openRow: -1, disturb: make([]float64, rows), acts: make([]uint64, rows)}
 	}
 	m.refDenom = cfg.Timing.RefreshCommandsPerWindow()
 	if m.refDenom <= 0 {
@@ -203,7 +207,7 @@ func (m *Module) Activate(bankIdx, row int, cycle uint64, actorDomain int) ([]Fl
 	m.stats.Inc("dram.act")
 	b.acts[row]++
 	// An ACT recharges the activated row as a side effect (§2.1).
-	delete(b.disturb, row)
+	b.disturb[row] = 0
 
 	var flips []FlipEvent
 	sub := m.geom.SubarrayOf(row)
@@ -232,7 +236,7 @@ func (m *Module) activateInternal(bankIdx, row int, cycle uint64) ([]FlipEvent, 
 	b := &m.banks[bankIdx]
 	b.openRow = row
 	m.stats.Inc("dram.act")
-	delete(b.disturb, row)
+	b.disturb[row] = 0
 	var flips []FlipEvent
 	sub := m.geom.SubarrayOf(row)
 	for dist := 1; dist <= m.prof.BlastRadius; dist++ {
@@ -376,8 +380,8 @@ func (m *Module) Refresh(cycle uint64) {
 // effects (used by the REF sweep and targeted refreshes).
 func (m *Module) refreshRowInternal(bankIdx, row int) {
 	b := &m.banks[bankIdx]
-	delete(b.disturb, row)
-	delete(b.acts, row)
+	b.disturb[row] = 0
+	b.acts[row] = 0
 }
 
 // RefreshRow performs a targeted refresh of one row, as issued by the
@@ -432,6 +436,9 @@ func (m *Module) Flips() []FlipEvent { return m.flipRecords }
 // Disturbance returns the accumulated disturbance of a row since its last
 // refresh. Exposed for tests and for modeling idealized hardware oracles.
 func (m *Module) Disturbance(bankIdx, row int) float64 {
+	if !m.geom.ValidBank(bankIdx) || !m.geom.ValidRow(row) {
+		return 0
+	}
 	return m.banks[bankIdx].disturb[row]
 }
 
@@ -445,6 +452,9 @@ func (m *Module) SeedDisturbance(bankIdx, row int, amount float64) {
 
 // ActCount returns the number of ACTs of a row since its last refresh.
 func (m *Module) ActCount(bankIdx, row int) uint64 {
+	if !m.geom.ValidBank(bankIdx) || !m.geom.ValidRow(row) {
+		return 0
+	}
 	return m.banks[bankIdx].acts[row]
 }
 
@@ -603,6 +613,17 @@ func (m *Module) FlippedLines() []LineAddr {
 		bank := key / (cols * rows)
 		out = append(out, LineAddr{Bank: int(bank), Row: int(row), Column: int(col)})
 	}
+	// The flipped set is a map; return a fixed order, not map order.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Bank != b.Bank {
+			return a.Bank < b.Bank
+		}
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Column < b.Column
+	})
 	return out
 }
 

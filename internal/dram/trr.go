@@ -66,10 +66,19 @@ func (c TRRConfig) validate() error {
 	return nil
 }
 
+// trrCandidate is one tracked aggressor candidate. The tracker holds a
+// small fixed number of these per bank in a flat slice — a CAM, like the
+// silicon it models — so the per-ACT path is a short linear scan with no
+// map hashing and no allocation.
+type trrCandidate struct {
+	row   int
+	count uint64
+}
+
 // trrEngine is the per-bank tracker.
 type trrEngine struct {
 	cfg       TRRConfig
-	tables    []map[int]uint64 // per bank: candidate row -> count
+	tables    [][]trrCandidate // per bank, capacity TrackerEntries
 	missRuns  []int            // per bank: untracked-ACT run length
 	refreshes uint64
 }
@@ -81,11 +90,11 @@ func newTRREngine(cfg TRRConfig, geom Geometry, prof DisturbanceProfile) (*trrEn
 	}
 	t := &trrEngine{
 		cfg:      cfg,
-		tables:   make([]map[int]uint64, geom.Banks),
+		tables:   make([][]trrCandidate, geom.Banks),
 		missRuns: make([]int, geom.Banks),
 	}
 	for i := range t.tables {
-		t.tables[i] = make(map[int]uint64, cfg.TrackerEntries)
+		t.tables[i] = make([]trrCandidate, 0, cfg.TrackerEntries)
 	}
 	return t, nil
 }
@@ -93,12 +102,14 @@ func newTRREngine(cfg TRRConfig, geom Geometry, prof DisturbanceProfile) (*trrEn
 // onActivate feeds one ACT into the bank's tracker.
 func (t *trrEngine) onActivate(bankIdx, row int) {
 	table := t.tables[bankIdx]
-	if _, ok := table[row]; ok {
-		table[row]++
-		return
+	for i := range table {
+		if table[i].row == row {
+			table[i].count++
+			return
+		}
 	}
 	if len(table) < t.cfg.TrackerEntries {
-		table[row] = 1
+		t.tables[bankIdx] = append(table, trrCandidate{row: row, count: 1})
 		return
 	}
 	// Table full and row untracked: apply decay pressure. This is what
@@ -109,24 +120,27 @@ func (t *trrEngine) onActivate(bankIdx, row int) {
 		return
 	}
 	t.missRuns[bankIdx] = 0
-	for r, c := range table {
-		if c <= 1 {
-			delete(table, r)
-		} else {
-			table[r] = c - 1
+	w := 0
+	for _, e := range table {
+		if e.count > 1 {
+			e.count--
+			table[w] = e
+			w++
 		}
 	}
+	t.tables[bankIdx] = table[:w]
 }
 
 // onRefresh runs at REF time: cure up to MitigationsPerREF candidates that
 // crossed the threshold, refreshing their neighbors and forgetting them.
 func (t *trrEngine) onRefresh(m *Module, cycle uint64) {
-	for bankIdx, table := range t.tables {
+	for bankIdx := range t.tables {
 		for i := 0; i < t.cfg.MitigationsPerREF; i++ {
-			top, topCount := -1, uint64(0)
-			for r, c := range table {
-				if c > topCount || (c == topCount && c > 0 && (top == -1 || r < top)) {
-					top, topCount = r, c
+			table := t.tables[bankIdx]
+			top, topIdx, topCount := -1, -1, uint64(0)
+			for j, e := range table {
+				if e.count > topCount || (e.count == topCount && e.count > 0 && (top == -1 || e.row < top)) {
+					top, topIdx, topCount = e.row, j, e.count
 				}
 			}
 			if top < 0 || topCount < t.cfg.CureThreshold {
@@ -156,7 +170,8 @@ func (t *trrEngine) onRefresh(m *Module, cycle uint64) {
 					m.stats.Inc("dram.trr_mitigations")
 				}
 			}
-			delete(table, top)
+			table[topIdx] = table[len(table)-1]
+			t.tables[bankIdx] = table[:len(table)-1]
 		}
 	}
 }

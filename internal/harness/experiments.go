@@ -30,7 +30,10 @@ func E1Spec() core.MachineSpec {
 
 // E1Matrix runs every attack in the catalog against every named defense
 // and tabulates cross-domain flips — the reproduction of Table 1's claim
-// that each primitive enables a working defense of its class.
+// that each primitive enables a working defense of its class. The
+// (defense, attack) cells are independent simulations and run on the
+// worker pool (opts.Parallelism); each cell constructs its own defense
+// instance because several defenses are stateful software daemons.
 func E1Matrix(defenses []string, manySided int, opts AttackOpts) (*report.Table, error) {
 	if len(defenses) == 0 {
 		defenses = E1Defenses
@@ -41,23 +44,34 @@ func E1Matrix(defenses []string, manySided int, opts AttackOpts) (*report.Table,
 		headers = append(headers, a.Name)
 	}
 	tb := report.NewTable("E1: cross-domain flips, attack x defense (LPDDR4)", headers...)
-	for _, name := range defenses {
+	nA := len(attacks)
+	cells := make([]string, len(defenses)*nA)
+	err := runCells(opts.Parallelism, len(cells), func(i int) error {
+		name, kind := defenses[i/nA], attacks[i%nA]
+		d, err := defense.New(name)
+		if err != nil {
+			return err
+		}
+		out, err := RunAttack(E1Spec(), d, kind, opts)
+		if err != nil {
+			return fmt.Errorf("harness: E1 %s vs %s: %w", name, kind.Name, err)
+		}
+		cell := fmt.Sprintf("%d", out.CrossFlips)
+		if !out.PlannedCross {
+			cell += " (no targets)"
+		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, name := range defenses {
 		d, err := defense.New(name)
 		if err != nil {
 			return nil, err
 		}
-		row := []string{d.Name(), d.Class().String()}
-		for _, kind := range attacks {
-			out, err := RunAttack(E1Spec(), d, kind, opts)
-			if err != nil {
-				return nil, fmt.Errorf("harness: E1 %s vs %s: %w", name, kind.Name, err)
-			}
-			cell := fmt.Sprintf("%d", out.CrossFlips)
-			if !out.PlannedCross {
-				cell += " (no targets)"
-			}
-			row = append(row, cell)
-		}
+		row := append([]string{d.Name(), d.Class().String()}, cells[di*nA:(di+1)*nA]...)
 		tb.AddRow(row...)
 	}
 	return tb, nil
@@ -114,56 +128,61 @@ func E2Interleaving(horizon uint64) (*report.Table, []E2Result, error) {
 	if horizon == 0 {
 		horizon = 2_000_000
 	}
-	type wl struct {
-		name string
-	}
-	workloads := []wl{{"stream"}, {"random"}}
+	workloads := []string{"stream", "random"}
 	tb := report.NewTable("E2: single-tenant throughput by interleaving scheme (MLP-8 core)",
 		"scheme", "workload", "accesses", "loss-vs-interleave%")
+	schemes := E2Schemes()
+	nW := len(workloads)
+	accs := make([]uint64, len(schemes)*nW)
+	err := runCells(0, len(accs), func(i int) error {
+		scheme, wl := schemes[i/nW], workloads[i%nW]
+		m, err := core.NewMachine(scheme.Spec)
+		if err != nil {
+			return fmt.Errorf("harness: E2 %s: %w", scheme.Name, err)
+		}
+		// The working set must exceed the LLC (2 MiB) or the cache
+		// absorbs the stream and no scheme differs.
+		tenants, err := SetupTenants(m, 1, 768)
+		if err != nil {
+			return err
+		}
+		var prog cpu.Program
+		switch wl {
+		case "stream":
+			prog, err = workload.Stream(tenants[0].Lines, 1<<30, 0)
+		case "random":
+			prog, err = workload.Random(tenants[0].Lines, 1<<30, 0, 0.2, m.RNG.Fork())
+		}
+		if err != nil {
+			return err
+		}
+		c, err := cpu.NewCore(0, tenants[0].Domain.ID, prog, m.Cache, m.MC)
+		if err != nil {
+			return err
+		}
+		c.MLP = 8
+		if _, err := m.Run([]core.Agent{c}, horizon); err != nil {
+			return err
+		}
+		accs[i] = c.Counters().Accesses
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Loss is relative to the line-interleave scheme, which is cell row 0.
 	var results []E2Result
-	base := make(map[string]uint64)
-	for _, scheme := range E2Schemes() {
-		for _, w := range workloads {
-			m, err := core.NewMachine(scheme.Spec)
-			if err != nil {
-				return nil, nil, fmt.Errorf("harness: E2 %s: %w", scheme.Name, err)
-			}
-			// The working set must exceed the LLC (2 MiB) or the cache
-			// absorbs the stream and no scheme differs.
-			tenants, err := SetupTenants(m, 1, 768)
-			if err != nil {
-				return nil, nil, err
-			}
-			var prog cpu.Program
-			switch w.name {
-			case "stream":
-				prog, err = workload.Stream(tenants[0].Lines, 1<<30, 0)
-			case "random":
-				prog, err = workload.Random(tenants[0].Lines, 1<<30, 0, 0.2, m.RNG.Fork())
-			}
-			if err != nil {
-				return nil, nil, err
-			}
-			c, err := cpu.NewCore(0, tenants[0].Domain.ID, prog, m.Cache, m.MC)
-			if err != nil {
-				return nil, nil, err
-			}
-			c.MLP = 8
-			if _, err := m.Run([]core.Agent{c}, horizon); err != nil {
-				return nil, nil, err
-			}
-			acc := c.Counters().Accesses
-			key := w.name
+	for si, scheme := range schemes {
+		for wi, wl := range workloads {
+			acc := accs[si*nW+wi]
 			loss := 0.0
-			if scheme.Name == "line-interleave" {
-				base[key] = acc
-			} else if base[key] > 0 {
-				loss = 100 * (1 - float64(acc)/float64(base[key]))
+			if base := accs[wi]; scheme.Name != "line-interleave" && base > 0 {
+				loss = 100 * (1 - float64(acc)/float64(base))
 			}
 			results = append(results, E2Result{
-				Scheme: scheme.Name, Workload: w.name, Accesses: acc, LossVsInterleave: loss,
+				Scheme: scheme.Name, Workload: wl, Accesses: acc, LossVsInterleave: loss,
 			})
-			tb.AddRowf(scheme.Name, w.name, acc, loss)
+			tb.AddRowf(scheme.Name, wl, acc, loss)
 		}
 	}
 	return tb, results, nil
@@ -183,25 +202,33 @@ func E3DensityScaling(horizon uint64) (*report.Table, error) {
 		"graphene-entries/bank")
 	opts := AttackOpts{Horizon: horizon}
 	kind := attack.Kind{Name: "double-sided", Sided: 2}
-	for _, prof := range dram.Generations() {
+	gens := dram.Generations()
+	names := []string{"none", "trr", "swrefresh"}
+	flips := make([]uint64, len(gens)*len(names))
+	err := runCells(0, len(flips), func(i int) error {
+		prof, name := gens[i/len(names)], names[i%len(names)]
 		spec := core.DefaultSpec()
 		spec.Profile = prof
-
-		cells := make(map[string]uint64)
-		for _, name := range []string{"none", "trr", "swrefresh"} {
-			d, err := defense.New(name)
-			if err != nil {
-				return nil, err
-			}
-			out, err := RunAttack(spec, d, kind, opts)
-			if err != nil {
-				return nil, fmt.Errorf("harness: E3 %s/%s: %w", prof.Name, name, err)
-			}
-			cells[name] = out.CrossFlips
+		d, err := defense.New(name)
+		if err != nil {
+			return err
 		}
+		out, err := RunAttack(spec, d, kind, opts)
+		if err != nil {
+			return fmt.Errorf("harness: E3 %s/%s: %w", prof.Name, name, err)
+		}
+		flips[i] = out.CrossFlips
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for gi, prof := range gens {
+		spec := core.DefaultSpec()
+		spec.Profile = prof
 		entries := memctrl.RequiredEntries(spec.Timing.MaxActsPerWindowPerBank(), prof.MAC/4)
-		tb.AddRowf(prof.Name, prof.MAC, prof.BlastRadius,
-			cells["none"], cells["trr"], cells["swrefresh"], entries)
+		row := flips[gi*len(names) : (gi+1)*len(names)]
+		tb.AddRowf(prof.Name, prof.MAC, prof.BlastRadius, row[0], row[1], row[2], entries)
 	}
 	return tb, nil
 }
@@ -225,33 +252,55 @@ func E4Overhead(horizon uint64, paraProbs []float64) (*report.Table, error) {
 	if len(paraProbs) == 0 {
 		paraProbs = []float64{0.0005, 0.001, 0.005, 0.02}
 	}
+	// Each cell builds a fresh defense instance (several are stateful
+	// daemons), so entries carry factories rather than shared instances.
 	type entry struct {
 		name string
-		d    core.Defense
+		mk   func() (core.Defense, error)
 	}
 	var entries []entry
 	for _, name := range E4Defenses {
 		if name == "para" {
 			for _, p := range paraProbs {
-				entries = append(entries, entry{name: fmt.Sprintf("para(p=%g)", p), d: defense.PARA{Prob: p}})
+				p := p
+				entries = append(entries, entry{
+					name: fmt.Sprintf("para(p=%g)", p),
+					mk:   func() (core.Defense, error) { return defense.PARA{Prob: p}, nil },
+				})
 			}
 			continue
 		}
+		name := name
 		d, err := defense.New(name)
 		if err != nil {
 			return nil, err
 		}
-		entries = append(entries, entry{name: d.Name(), d: d})
+		entries = append(entries, entry{name: d.Name(), mk: func() (core.Defense, error) { return defense.New(name) }})
 	}
 
 	tb := report.NewTable("E4: benign multi-tenant overhead by defense",
 		"defense", "accesses", "slowdown%", "DRAM nJ/access")
-	var baseline uint64
-	for _, e := range entries {
-		acc, energy, err := runBenign(e.d, horizon)
+	accs := make([]uint64, len(entries))
+	energies := make([]float64, len(entries))
+	err := runCells(0, len(entries), func(i int) error {
+		d, err := entries[i].mk()
 		if err != nil {
-			return nil, fmt.Errorf("harness: E4 %s: %w", e.name, err)
+			return err
 		}
+		acc, energy, err := runBenign(d, horizon)
+		if err != nil {
+			return fmt.Errorf("harness: E4 %s: %w", entries[i].name, err)
+		}
+		accs[i], energies[i] = acc, energy
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Slowdown is relative to the undefended "none" entry, always first.
+	var baseline uint64
+	for i, e := range entries {
+		acc := accs[i]
 		slowdown := 0.0
 		if e.name == "none" {
 			baseline = acc
@@ -260,7 +309,7 @@ func E4Overhead(horizon uint64, paraProbs []float64) (*report.Table, error) {
 		}
 		perAccess := 0.0
 		if acc > 0 {
-			perAccess = energy / 1e3 / float64(acc)
+			perAccess = energies[i] / 1e3 / float64(acc)
 		}
 		tb.AddRowf(e.name, acc, slowdown, perAccess)
 	}

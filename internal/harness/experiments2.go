@@ -37,24 +37,29 @@ func E5TRRBypass(horizon uint64, sides []int, trackers []int) (*report.Table, er
 	spec := core.DefaultSpec()
 	spec.Profile = dram.DDR4Old()
 	opts := AttackOpts{Horizon: horizon}
-	for _, k := range sides {
+	nC := 1 + len(trackers) // columns per row: undefended + one per tracker size
+	cells := make([]string, len(sides)*nC)
+	err := runCells(0, len(cells), func(i int) error {
+		k, ci := sides[i/nC], i%nC
 		kind := attack.Kind{Name: fmt.Sprintf("many-sided(%d)", k), Sided: k}
-		row := []string{fmt.Sprint(k)}
-		out, err := RunAttack(spec, defense.None{}, kind, opts)
-		if err != nil {
-			return nil, fmt.Errorf("harness: E5 none/%d: %w", k, err)
-		}
-		row = append(row, fmt.Sprint(out.CrossFlips))
-		for _, n := range trackers {
+		var d core.Defense = defense.None{}
+		if ci > 0 {
 			cfg := dram.DefaultTRR()
-			cfg.TrackerEntries = n
-			out, err := RunAttack(spec, defense.TRR{Config: cfg}, kind, opts)
-			if err != nil {
-				return nil, fmt.Errorf("harness: E5 trr%d/%d: %w", n, k, err)
-			}
-			row = append(row, fmt.Sprint(out.CrossFlips))
+			cfg.TrackerEntries = trackers[ci-1]
+			d = defense.TRR{Config: cfg}
 		}
-		tb.AddRow(row...)
+		out, err := RunAttack(spec, d, kind, opts)
+		if err != nil {
+			return fmt.Errorf("harness: E5 %s/%d: %w", d.Name(), k, err)
+		}
+		cells[i] = fmt.Sprint(out.CrossFlips)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, k := range sides {
+		tb.AddRow(append([]string{fmt.Sprint(k)}, cells[si*nC:(si+1)*nC]...)...)
 	}
 	return tb, nil
 }
@@ -98,13 +103,19 @@ func E6ActInterrupt(horizon uint64) (*report.Table, []E6Result, error) {
 	}
 	tb := report.NewTable("E6: precise ACT interrupt vs evasive attacker (LPDDR4)",
 		"counter mode", "overflows", "aggressor flags", "first flag cycle", "cross flips", "attack")
-	var results []E6Result
-	for _, mode := range modes {
-		res, err := runE6(mode, horizon)
+	results := make([]E6Result, len(modes))
+	err := runCells(0, len(modes), func(i int) error {
+		res, err := runE6(modes[i], horizon)
 		if err != nil {
-			return nil, nil, fmt.Errorf("harness: E6 %s: %w", mode.Name, err)
+			return fmt.Errorf("harness: E6 %s: %w", modes[i].Name, err)
 		}
-		results = append(results, res)
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, res := range results {
 		outcome := "DEFEATED"
 		if res.CrossFlips > 0 {
 			outcome = "SUCCEEDS"
@@ -113,7 +124,7 @@ func E6ActInterrupt(horizon uint64) (*report.Table, []E6Result, error) {
 		if res.FirstFlagCycle > 0 {
 			first = fmt.Sprint(res.FirstFlagCycle)
 		}
-		tb.AddRow(mode.Name, fmt.Sprint(res.Overflows), fmt.Sprint(res.AggressorFlags),
+		tb.AddRow(res.Mode, fmt.Sprint(res.Overflows), fmt.Sprint(res.AggressorFlags),
 			first, fmt.Sprint(res.CrossFlips), outcome)
 	}
 	return tb, results, nil
@@ -301,12 +312,21 @@ func E8Enclave(horizon uint64) (*report.Table, error) {
 	}
 	tb := report.NewTable("E8: enclave integrity semantics under attack (LPDDR4, no defense)",
 		"victim memory", "cross flips", "machine locked up", "outcome")
-	for _, integrity := range []bool{false, true} {
+	outs := make([]AttackOutcome, 2)
+	err := runCells(0, len(outs), func(i int) error {
 		out, err := RunAttack(E1Spec(), defense.None{}, attack.Kind{Name: "double-sided", Sided: 2},
-			AttackOpts{Horizon: horizon, VictimIntegrity: integrity})
+			AttackOpts{Horizon: horizon, VictimIntegrity: i == 1})
 		if err != nil {
-			return nil, fmt.Errorf("harness: E8 integrity=%v: %w", integrity, err)
+			return fmt.Errorf("harness: E8 integrity=%v: %w", i == 1, err)
 		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, integrity := range []bool{false, true} {
+		out := outs[i]
 		label := "plain"
 		outcome := "silent cross-domain corruption"
 		if integrity {

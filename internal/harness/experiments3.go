@@ -45,17 +45,23 @@ type E7Result struct {
 func E7RefreshPath() (*report.Table, []E7Result, error) {
 	tb := report.NewTable("E7: targeted-refresh mechanisms (§4.3)",
 		"method", "bank state", "cycles", "ACT cmds", "bus transfers", "victim refreshed")
-	var results []E7Result
-	for _, method := range []E7Method{E7RefreshInstr, E7RefNeighbors, E7LoadPath} {
-		for _, victimOpen := range []bool{false, true} {
-			r, err := runE7(method, victimOpen)
-			if err != nil {
-				return nil, nil, fmt.Errorf("harness: E7 %s: %w", method, err)
-			}
-			results = append(results, r)
-			tb.AddRow(string(r.Method), r.BankState, fmt.Sprint(r.Cycles),
-				fmt.Sprint(r.ACTs), fmt.Sprint(r.BusTransfers), fmt.Sprint(r.Refreshed))
+	methods := []E7Method{E7RefreshInstr, E7RefNeighbors, E7LoadPath}
+	results := make([]E7Result, 2*len(methods))
+	err := runCells(0, len(results), func(i int) error {
+		method, victimOpen := methods[i/2], i%2 == 1
+		r, err := runE7(method, victimOpen)
+		if err != nil {
+			return fmt.Errorf("harness: E7 %s: %w", method, err)
 		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range results {
+		tb.AddRow(string(r.Method), r.BankState, fmt.Sprint(r.Cycles),
+			fmt.Sprint(r.ACTs), fmt.Sprint(r.BusTransfers), fmt.Sprint(r.Refreshed))
 	}
 	return tb, results, nil
 }

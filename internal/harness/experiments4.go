@@ -61,20 +61,24 @@ func E9ECC(horizons []uint64) (*report.Table, []ECCOutcome, error) {
 	}
 	tb := report.NewTable("E9: SECDED ECC outcomes under double-sided attack (LPDDR4)",
 		"config", "horizon (cycles)", "raw flips", "words corrected", "words detected (DoS)", "words silent-corrupt")
-	var outs []ECCOutcome
-	for _, h := range horizons {
-		for _, scrub := range []bool{false, true} {
-			out, err := runE9(h, scrub)
-			if err != nil {
-				return nil, nil, err
-			}
-			outs = append(outs, out)
-			label := "ecc"
-			if scrub {
-				label = "ecc+scrub"
-			}
-			tb.AddRowf(label, h, out.RawFlips, out.Corrected, out.Detected, out.Silent)
+	outs := make([]ECCOutcome, 2*len(horizons))
+	err := runCells(0, len(outs), func(i int) error {
+		out, err := runE9(horizons[i/2], i%2 == 1)
+		if err != nil {
+			return err
 		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, out := range outs {
+		label := "ecc"
+		if i%2 == 1 {
+			label = "ecc+scrub"
+		}
+		tb.AddRowf(label, horizons[i/2], out.RawFlips, out.Corrected, out.Detected, out.Silent)
 	}
 	return tb, outs, nil
 }
@@ -156,7 +160,12 @@ func E10HalfDouble(horizon uint64) (*report.Table, error) {
 	}
 	tb := report.NewTable("E10: Half-Double relay through mitigation activations (radius-1 module)",
 		"TRR cure mechanism", "mitigations", "flips within radius", "flips beyond radius (relayed)")
-	for _, cureACT := range []bool{false, true} {
+	type e10Row struct {
+		mitigations, within, relayed uint64
+	}
+	rows := make([]e10Row, 2)
+	err := runCells(0, len(rows), func(i int) error {
+		cureACT := i == 1
 		spec := core.DefaultSpec()
 		spec.Profile = prof
 		trr := dram.DefaultTRR()
@@ -164,34 +173,44 @@ func E10HalfDouble(horizon uint64) (*report.Table, error) {
 		spec.TRR = &trr
 		m, err := core.NewMachine(spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tenants, err := SetupTenants(m, 3, 170)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		attacker := tenants[0].Domain.ID
 		plan, err := attack.PlanSingleSided(m.Kernel, m.Mapper, attacker, 1, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prog, err := attack.HammerVA(m.Kernel, attacker, plan, 1<<30, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c, err := cpu.NewCore(0, attacker, prog, m.Cache, m.MC)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := m.Run([]core.Agent{c}, horizon); err != nil {
-			return nil, err
+			return err
 		}
-		within := m.Flips() - m.MitigationFlips()
+		rows[i] = e10Row{
+			mitigations: m.DRAM.TRRStats(),
+			within:      m.Flips() - m.MitigationFlips(),
+			relayed:     m.MitigationFlips(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
 		mode := "internal recharge"
-		if cureACT {
+		if i == 1 {
 			mode = "activate-based"
 		}
-		tb.AddRowf(mode, m.DRAM.TRRStats(), within, m.MitigationFlips())
+		tb.AddRowf(mode, r.mitigations, r.within, r.relayed)
 	}
 	return tb, nil
 }

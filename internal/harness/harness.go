@@ -74,6 +74,11 @@ type AttackOpts struct {
 	// ReplayAttack, when non-nil, replaces attack planning entirely: the
 	// recorded events are replayed verbatim as the attacker's stream.
 	ReplayAttack []trace.Event
+	// Parallelism is the worker count used by grid experiments that fan
+	// independent cells out over these opts (E1): 0 uses the package
+	// default (SetParallelism / GOMAXPROCS), 1 forces serial. Parallel
+	// and serial runs produce byte-identical tables.
+	Parallelism int
 }
 
 func (o *AttackOpts) applyDefaults() {

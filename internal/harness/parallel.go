@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment grids of E1-E10 are embarrassingly parallel: every
+// (defense, attack, sweep-point) cell builds its own machine from a fixed
+// seed, runs it, and yields one result. The pool below fans cells out
+// across a bounded set of worker goroutines while keeping the output
+// byte-identical to a serial run:
+//
+//   - each cell constructs everything it mutates (machine, defense,
+//     workloads) inside the cell function — no state is shared between
+//     in-flight cells;
+//   - per-cell randomness comes from RNGs that are a pure function of the
+//     cell's seed (sim.RNG.Fork / ForkAt), never from a stream consumed in
+//     scheduling order;
+//   - results land in a slice indexed by cell, and tables are assembled
+//     from that slice in cell order after the pool drains.
+
+// defaultWorkers is the package-wide worker count used when a caller does
+// not override it: 0 means runtime.GOMAXPROCS(0).
+var defaultWorkers atomic.Int64
+
+// SetParallelism sets the package-wide worker count for experiment grids:
+// n <= 0 restores the default (runtime.GOMAXPROCS(0)), 1 forces serial
+// execution. cmd/hammerbench wires its -parallel flag here.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Parallelism returns the package-wide worker count (resolved, >= 1).
+func Parallelism() int { return resolveWorkers(0) }
+
+// resolveWorkers maps a per-call request to a concrete worker count:
+// requested > 0 wins, then the package default, then GOMAXPROCS.
+func resolveWorkers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runCells executes fn(0..n-1), each call exactly once, on at most
+// `workers` goroutines (resolved via resolveWorkers). Cell functions must
+// be independent: they may only write state they own plus their own index
+// of a pre-sized results slice. On error the pool stops handing out new
+// cells and the lowest-index error among the attempted cells is returned —
+// the same error a serial run would hit first among those attempted.
+func runCells(workers, n int, fn func(i int) error) error {
+	workers = resolveWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errIdx = -1
+		first  error
+		wg     sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, first = i, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCellsCoversAllIndices checks every cell runs exactly once and the
+// pool never exceeds its worker bound.
+func TestRunCellsCoversAllIndices(t *testing.T) {
+	const n, workers = 97, 4
+	var ran [n]int32
+	var inFlight, peak int32
+	err := runCells(workers, n, func(i int) error {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&ran[i], 1)
+		atomic.AddInt32(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if ran[i] != 1 {
+			t.Fatalf("cell %d ran %d times", i, ran[i])
+		}
+	}
+	if peak > workers {
+		t.Fatalf("concurrency peak %d exceeds %d workers", peak, workers)
+	}
+}
+
+// TestRunCellsPropagatesError checks an error stops the pool and the
+// lowest-index error among the attempted cells is returned.
+func TestRunCellsPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 3} {
+		var attempted int32
+		err := runCells(workers, 50, func(i int) error {
+			atomic.AddInt32(&attempted, 1)
+			if i >= 5 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+		if attempted == 50 {
+			t.Errorf("workers=%d: pool did not stop early", workers)
+		}
+	}
+}
+
+// TestRunCellsResolvesWorkers pins the worker-count resolution order:
+// per-call request beats the package default beats GOMAXPROCS.
+func TestRunCellsResolvesWorkers(t *testing.T) {
+	SetParallelism(3)
+	defer SetParallelism(0)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", got)
+	}
+	if got := resolveWorkers(7); got != 7 {
+		t.Fatalf("resolveWorkers(7) = %d, want the per-call request", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("default Parallelism() = %d, want >= 1", got)
+	}
+}
+
+// TestE1MatrixParallelDeterminism is the RNG-forking contract guard: the
+// E1 grid must render byte-identically no matter how many workers execute
+// it, because every cell's randomness is a pure function of the cell, not
+// of scheduling order.
+func TestE1MatrixParallelDeterminism(t *testing.T) {
+	defenses := []string{"none", "trr", "swrefresh", "anvil"}
+	run := func(workers int) string {
+		tb, err := E1Matrix(defenses, 8, AttackOpts{Horizon: 600_000, Parallelism: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tb.String()
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 7} {
+		if got := run(workers); got != serial {
+			t.Errorf("workers=%d table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, serial, got)
+		}
+	}
+}
+
+// TestE2ParallelDeterminism covers a grid whose cells draw per-machine
+// forked RNG streams (the random workload) and whose table has a
+// cross-cell baseline column computed after assembly.
+func TestE2ParallelDeterminism(t *testing.T) {
+	run := func(workers int) string {
+		SetParallelism(workers)
+		defer SetParallelism(0)
+		tb, _, err := E2Interleaving(300_000)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tb.String()
+	}
+	serial := run(1)
+	for _, workers := range []int{3, 8} {
+		if got := run(workers); got != serial {
+			t.Errorf("workers=%d table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, serial, got)
+		}
+	}
+}

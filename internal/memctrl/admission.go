@@ -1,5 +1,7 @@
 package memctrl
 
+import "hammertime/internal/dram"
+
 // AdmissionController is the frequency-centric hardware hook: it may delay
 // requests that would activate a row, bounding per-row ACT rates.
 // BlockHammer (Yağlıkçı et al., HPCA'21) is the canonical implementation.
@@ -22,7 +24,10 @@ type AdmissionController interface {
 //
 // Real BlockHammer uses paired counting Bloom filters; this model tracks
 // exact per-row counts with epoch halving, which reproduces the same
-// admission behaviour without the (orthogonal) aliasing noise.
+// admission behaviour without the (orthogonal) aliasing noise. The counts
+// live in dense per-(bank,row) arrays sized from the module geometry, so
+// the per-ACT path (Admit + ObserveACT) is pure indexing with zero
+// allocations.
 type RateLimiter struct {
 	// MaxActsPerWindow is the per-row ACT budget per refresh window
 	// (set below the module's MAC with safety margin).
@@ -34,25 +39,30 @@ type RateLimiter struct {
 	// blacklisting threshold, typically a fraction of the budget).
 	WatchThreshold uint64
 
-	counts    map[[2]int]uint64
-	nextAllow map[[2]int]uint64
-	epochEnd  uint64
-	delayed   uint64
-	totalWait uint64
+	rowsPerBank int
+	counts      []uint64 // dense, indexed bank*rowsPerBank+row
+	nextAllow   []uint64
+	active      int // rows with a nonzero count (skip the rotate scan when 0)
+	epochEnd    uint64
+	delayed     uint64
+	totalWait   uint64
 }
 
-// NewRateLimiter returns a limiter enforcing maxActs per window cycles,
-// beginning to throttle once a row passes watch (0 means maxActs/2).
-func NewRateLimiter(maxActs, window, watch uint64) *RateLimiter {
+// NewRateLimiter returns a limiter for a module of the given geometry
+// enforcing maxActs per window cycles, beginning to throttle once a row
+// passes watch (0 means maxActs/2).
+func NewRateLimiter(geom dram.Geometry, maxActs, window, watch uint64) *RateLimiter {
 	if watch == 0 {
 		watch = maxActs / 2
 	}
+	slots := geom.Banks * geom.RowsPerBank()
 	return &RateLimiter{
 		MaxActsPerWindow: maxActs,
 		Window:           window,
 		WatchThreshold:   watch,
-		counts:           make(map[[2]int]uint64),
-		nextAllow:        make(map[[2]int]uint64),
+		rowsPerBank:      geom.RowsPerBank(),
+		counts:           make([]uint64, slots),
+		nextAllow:        make([]uint64, slots),
 	}
 }
 
@@ -65,7 +75,7 @@ func (l *RateLimiter) Admit(req Request, bank, row int, wouldAct bool, now uint6
 		return 0
 	}
 	l.rotate(now)
-	key := [2]int{bank, row}
+	key := bank*l.rowsPerBank + row
 	if l.counts[key] < l.WatchThreshold {
 		return 0
 	}
@@ -83,7 +93,10 @@ func (l *RateLimiter) Admit(req Request, bank, row int, wouldAct bool, now uint6
 // ObserveACT implements AdmissionController.
 func (l *RateLimiter) ObserveACT(bank, row int, start uint64) {
 	l.rotate(start)
-	key := [2]int{bank, row}
+	key := bank*l.rowsPerBank + row
+	if l.counts[key] == 0 {
+		l.active++
+	}
 	l.counts[key]++
 	if l.counts[key] >= l.WatchThreshold {
 		minGap := l.Window / l.MaxActsPerWindow
@@ -99,12 +112,17 @@ func (l *RateLimiter) rotate(now uint64) {
 		l.epochEnd = l.Window / 2
 	}
 	for now >= l.epochEnd {
-		for k, c := range l.counts {
-			if c <= 1 {
-				delete(l.counts, k)
-				delete(l.nextAllow, k)
-			} else {
-				l.counts[k] = c / 2
+		if l.active > 0 {
+			for k, c := range l.counts {
+				switch {
+				case c == 0:
+				case c <= 1:
+					l.counts[k] = 0
+					l.nextAllow[k] = 0
+					l.active--
+				default:
+					l.counts[k] = c / 2
+				}
 			}
 		}
 		l.epochEnd += l.Window / 2

@@ -16,9 +16,18 @@ type Graphene struct {
 	// Radius is the neighbor refresh radius.
 	Radius int
 
-	tables    []map[int]uint64
+	tables    [][]mgEntry
 	spill     []uint64 // per-bank Misra-Gries decrement floor
 	refreshes uint64
+}
+
+// mgEntry is one Misra-Gries table slot. The table is a flat slice of at
+// most Entries slots per bank — a CAM, like the SRAM structure it models —
+// so the per-ACT path is a short linear scan with no map hashing and no
+// allocation in the steady state.
+type mgEntry struct {
+	row   int
+	count uint64
 }
 
 // NewGraphene returns a tracker with the given per-bank table size,
@@ -28,11 +37,11 @@ func NewGraphene(banks, entries int, threshold uint64, radius int) *Graphene {
 		Entries:   entries,
 		Threshold: threshold,
 		Radius:    radius,
-		tables:    make([]map[int]uint64, banks),
+		tables:    make([][]mgEntry, banks),
 		spill:     make([]uint64, banks),
 	}
 	for i := range g.tables {
-		g.tables[i] = make(map[int]uint64, entries)
+		g.tables[i] = make([]mgEntry, 0, entries)
 	}
 	return g
 }
@@ -51,24 +60,37 @@ func RequiredEntries(actBudgetPerWindow, threshold uint64) int {
 // (>= 0) when the threshold fires, or -1.
 func (g *Graphene) onACT(bank, row int) int {
 	t := g.tables[bank]
-	if _, ok := t[row]; ok {
-		t[row]++
-	} else if len(t) < g.Entries {
-		t[row] = g.spill[bank] + 1
-	} else {
+	idx := -1
+	for i := range t {
+		if t[i].row == row {
+			idx = i
+			break
+		}
+	}
+	switch {
+	case idx >= 0:
+		t[idx].count++
+	case len(t) < g.Entries:
+		idx = len(t)
+		t = append(t, mgEntry{row: row, count: g.spill[bank] + 1})
+		g.tables[bank] = t
+	default:
 		// Misra-Gries: raise the floor instead of decrementing every
 		// entry; evict entries at the floor.
 		g.spill[bank]++
-		for r, c := range t {
-			if c <= g.spill[bank] {
-				delete(t, r)
+		w := 0
+		for _, e := range t {
+			if e.count > g.spill[bank] {
+				t[w] = e
+				w++
 			}
 		}
+		g.tables[bank] = t[:w]
 		return -1
 	}
-	if t[row]-g.spill[bank] >= g.Threshold {
+	if t[idx].count-g.spill[bank] >= g.Threshold {
 		// Trigger: refresh neighbors and rearm the entry.
-		t[row] = g.spill[bank]
+		t[idx].count = g.spill[bank]
 		g.refreshes++
 		return row
 	}
@@ -78,10 +100,11 @@ func (g *Graphene) onACT(bank, row int) int {
 // Refreshes returns how many neighbor refreshes the tracker triggered.
 func (g *Graphene) Refreshes() uint64 { return g.refreshes }
 
-// windowReset clears the tables at refresh-window boundaries.
+// windowReset clears the tables at refresh-window boundaries, keeping the
+// allocated slots for reuse.
 func (g *Graphene) windowReset() {
 	for i := range g.tables {
-		g.tables[i] = make(map[int]uint64, g.Entries)
+		g.tables[i] = g.tables[i][:0]
 		g.spill[i] = 0
 	}
 }

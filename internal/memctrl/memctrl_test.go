@@ -398,7 +398,7 @@ func TestGrapheneUnderProvisionedMisses(t *testing.T) {
 }
 
 func TestRateLimiterDelaysHotRow(t *testing.T) {
-	rl := NewRateLimiter(100, 1_000_000, 10)
+	rl := NewRateLimiter(dram.DefaultGeometry(), 100, 1_000_000, 10)
 	req := Request{}
 	now := uint64(0)
 	var totalDelay uint64
@@ -423,7 +423,7 @@ func TestRateLimiterDelaysHotRow(t *testing.T) {
 }
 
 func TestRateLimiterIgnoresRowHitsAndColdRows(t *testing.T) {
-	rl := NewRateLimiter(100, 1_000_000, 10)
+	rl := NewRateLimiter(dram.DefaultGeometry(), 100, 1_000_000, 10)
 	if d := rl.Admit(Request{}, 0, 5, false, 0); d != 0 {
 		t.Fatalf("row hit delayed by %d", d)
 	}

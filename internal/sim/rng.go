@@ -92,3 +92,16 @@ func (r *RNG) Shuffle(s []int) {
 func (r *RNG) Fork() *RNG {
 	return &RNG{state: r.Uint64() ^ 0xa5a5a5a5deadbeef}
 }
+
+// ForkAt returns the i'th member of a family of decorrelated generators
+// derived from r's current state, without advancing r. This is the
+// parallel-harness contract: cell i's stream is a pure function of
+// (r.state, i), never of scheduling order, so experiment cells fanned out
+// across goroutines draw exactly the bits they would have drawn serially.
+func (r *RNG) ForkAt(i uint64) *RNG {
+	z := r.state + 0x9e3779b97f4a7c15*(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return &RNG{state: z ^ 0xa5a5a5a5deadbeef}
+}

@@ -254,3 +254,47 @@ func TestStatsString(t *testing.T) {
 		t.Fatalf("String() = %q", got)
 	}
 }
+
+func TestForkAtDeterministic(t *testing.T) {
+	a := NewRNG(42).ForkAt(3)
+	b := NewRNG(42).ForkAt(3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("ForkAt(3) streams diverge at draw %d", i)
+		}
+	}
+}
+
+func TestForkAtDoesNotAdvanceParent(t *testing.T) {
+	r := NewRNG(7)
+	want := NewRNG(7).Uint64()
+	r.ForkAt(0)
+	r.ForkAt(99)
+	if got := r.Uint64(); got != want {
+		t.Fatalf("ForkAt advanced the parent: next draw %#x, want %#x", got, want)
+	}
+}
+
+func TestForkAtStreamsDecorrelated(t *testing.T) {
+	r := NewRNG(1)
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 64; i++ {
+		v := r.ForkAt(i).Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("ForkAt(%d) and ForkAt(%d) start with the same draw %#x", i, j, v)
+		}
+		seen[v] = i
+	}
+	// A forked stream must also differ from the parent's own sequence.
+	fork := r.ForkAt(0)
+	parent := NewRNG(1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if fork.Uint64() == parent.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("ForkAt(0) tracks the parent stream (%d/64 equal draws)", same)
+	}
+}
