@@ -8,6 +8,15 @@
 // Usage:
 //
 //	hammerbench [-experiment all|e1|..|e10] [-horizon N] [-csv] [-parallel N]
+//	            [-metrics-out bench.json] [-trace-events f -trace-format chrome]
+//	            [-pprof-cpu f] [-pprof-http addr]
+//
+// -metrics-out emits a machine-readable performance report (the
+// BENCH_harness.json shape): per-experiment and per-cell wall-clock plus
+// simulated events/sec, as collected by the parallel harness.
+// -trace-events records the simulator event stream of E1's cells (the
+// sink is mutex-wrapped, so parallel cells interleave safely; use
+// -parallel 1 for a single-machine-ordered trace).
 //
 // Experiments fan their independent (defense, attack, sweep-point) cells
 // across a worker pool; -parallel caps the pool (0 = one worker per CPU,
@@ -24,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"hammertime/internal/cliutil"
 	"hammertime/internal/harness"
 	"hammertime/internal/report"
 )
@@ -34,23 +44,41 @@ func main() {
 		horizon    = flag.Uint64("horizon", 0, "simulation horizon in cycles (0 = per-experiment default)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel   = flag.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = serial)")
+		obsFlags   cliutil.ObsFlags
 	)
+	obsFlags.Register()
 	flag.Parse()
 	harness.SetParallelism(*parallel)
-	if err := run(strings.ToLower(*experiment), *horizon, *csv); err != nil {
+	if err := run(strings.ToLower(*experiment), *horizon, *csv, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "hammerbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, horizon uint64, csv bool) error {
+func run(experiment string, horizon uint64, csv bool, obsFlags cliutil.ObsFlags) error {
+	// The recorder may serve many parallel cells; sync the sink.
+	session, err := obsFlags.Start(true)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := session.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "hammerbench: close observability:", cerr)
+		}
+	}()
+	collector := harness.NewBenchCollector("hammerbench")
+	harness.SetBenchCollector(collector)
+	defer harness.SetBenchCollector(nil)
+
+	recorder := session.Recorder
+
 	type exp struct {
 		id  string
 		gen func() (*report.Table, error)
 	}
 	experiments := []exp{
 		{"e1", func() (*report.Table, error) {
-			return harness.E1Matrix(nil, 12, harness.AttackOpts{Horizon: horizon})
+			return harness.E1Matrix(nil, 12, harness.AttackOpts{Horizon: horizon, Observer: recorder})
 		}},
 		{"e2", func() (*report.Table, error) {
 			tb, _, err := harness.E2Interleaving(horizon)
@@ -82,7 +110,9 @@ func run(experiment string, horizon uint64, csv bool) error {
 		}
 		ran = true
 		start := time.Now()
+		collector.Begin(e.id)
 		tb, err := e.gen()
+		collector.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
@@ -103,5 +133,5 @@ func run(experiment string, horizon uint64, csv bool) error {
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want all or e1..e10)", experiment)
 	}
-	return nil
+	return session.WriteMetrics(collector.Report())
 }

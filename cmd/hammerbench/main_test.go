@@ -1,6 +1,8 @@
 package main
 
 import (
+	"hammertime/internal/cliutil"
+
 	"os"
 	"testing"
 )
@@ -24,24 +26,24 @@ func silence(t *testing.T) {
 func TestRunSingleExperiment(t *testing.T) {
 	silence(t)
 	// E7 is the cheapest experiment; both render paths.
-	if err := run("e7", 0, false); err != nil {
+	if err := run("e7", 0, false, cliutil.ObsFlags{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("e7", 0, true); err != nil {
+	if err := run("e7", 0, true, cliutil.ObsFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithHorizonOverride(t *testing.T) {
 	silence(t)
-	if err := run("e8", 1_000_000, false); err != nil {
+	if err := run("e8", 1_000_000, false, cliutil.ObsFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
 	silence(t)
-	if err := run("e99", 0, false); err == nil {
+	if err := run("e99", 0, false, cliutil.ObsFlags{}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

@@ -7,8 +7,18 @@
 //
 //	hammersim [-defense none] [-attack double] [-profile ddr4-old]
 //	          [-horizon 4000000] [-tenants 3] [-pages 170] [-stats]
+//	          [-trace-events f -trace-format jsonl|chrome]
+//	          [-metrics-out f.json] [-pprof-cpu f] [-pprof-http addr]
 //
 // Attacks: single, double, many:<k>, dma. Defenses: see -list.
+//
+// -trace-events records the full simulator event stream (ACT/PRE/REF,
+// row-buffer outcomes, defense triggers, bit flips, ...); with
+// -trace-format=chrome the file opens directly in Perfetto or
+// chrome://tracing, one track per bank plus defense/system tracks.
+// -metrics-out dumps every counter, gauge, per-bank vector and histogram
+// as JSON. Recording is observer-only: results are byte-identical with
+// or without it.
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"strings"
 
 	"hammertime/internal/attack"
+	"hammertime/internal/cliutil"
 	"hammertime/internal/core"
 	"hammertime/internal/defense"
 	"hammertime/internal/dram"
@@ -40,13 +51,15 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "record the attacker's access stream to this file")
 		traceIn     = flag.String("trace-in", "", "replay a recorded stream as the attack instead of planning one")
 		list        = flag.Bool("list", false, "list available defenses and exit")
+		obsFlags    cliutil.ObsFlags
 	)
+	obsFlags.Register()
 	flag.Parse()
 	if *list {
 		fmt.Println("defenses:", strings.Join(defense.Names(), " "))
 		return
 	}
-	if err := run(*defenseName, *attackName, *profileName, *horizon, *tenants, *pages, *seed, *integrity, *stats, *traceOut, *traceIn); err != nil {
+	if err := run(*defenseName, *attackName, *profileName, *horizon, *tenants, *pages, *seed, *integrity, *stats, *traceOut, *traceIn, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "hammersim:", err)
 		os.Exit(1)
 	}
@@ -88,7 +101,7 @@ func attackByName(name string) (attack.Kind, error) {
 	}
 }
 
-func run(defenseName, attackName, profileName string, horizon uint64, tenants, pages int, seed uint64, integrity, stats bool, traceOut, traceIn string) error {
+func run(defenseName, attackName, profileName string, horizon uint64, tenants, pages int, seed uint64, integrity, stats bool, traceOut, traceIn string, obsFlags cliutil.ObsFlags) error {
 	d, err := defense.New(defenseName)
 	if err != nil {
 		return err
@@ -105,11 +118,22 @@ func run(defenseName, attackName, profileName string, horizon uint64, tenants, p
 	spec.Profile = prof
 	spec.Seed = seed
 
+	session, err := obsFlags.Start(false)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := session.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "hammersim: close observability:", cerr)
+		}
+	}()
+
 	opts := harness.AttackOpts{
 		Horizon:         horizon,
 		Tenants:         tenants,
 		PagesPerTenant:  pages,
 		VictimIntegrity: integrity,
+		Observer:        session.Recorder,
 	}
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
@@ -163,6 +187,9 @@ func run(defenseName, attackName, profileName string, horizon uint64, tenants, p
 	if stats {
 		fmt.Println("--- counters ---")
 		fmt.Print(out.Result.Stats.String())
+	}
+	if err := session.WriteMetrics(out.Result.Stats.Snapshot()); err != nil {
+		return err
 	}
 	return nil
 }

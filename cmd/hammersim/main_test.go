@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"hammertime/internal/cliutil"
+
 	"os"
 	"testing"
 )
@@ -68,26 +71,26 @@ func TestProfileByName(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	silence(t)
-	if err := run("none", "double", "lpddr4", 1_000_000, 3, 48, 1, false, true, "", ""); err != nil {
+	if err := run("none", "double", "lpddr4", 1_000_000, 3, 48, 1, false, true, "", "", cliutil.ObsFlags{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("subarray", "dma", "lpddr4", 1_000_000, 3, 48, 1, false, false, "", ""); err != nil {
+	if err := run("subarray", "dma", "lpddr4", 1_000_000, 3, 48, 1, false, false, "", "", cliutil.ObsFlags{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("none", "double", "lpddr4", 500_000, 2, 16, 1, true, false, "", ""); err != nil {
+	if err := run("none", "double", "lpddr4", 500_000, 2, 16, 1, true, false, "", "", cliutil.ObsFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadArgs(t *testing.T) {
 	silence(t)
-	if err := run("bogus", "double", "lpddr4", 1000, 3, 16, 1, false, false, "", ""); err == nil {
+	if err := run("bogus", "double", "lpddr4", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}); err == nil {
 		t.Fatal("unknown defense accepted")
 	}
-	if err := run("none", "bogus", "lpddr4", 1000, 3, 16, 1, false, false, "", ""); err == nil {
+	if err := run("none", "bogus", "lpddr4", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}); err == nil {
 		t.Fatal("unknown attack accepted")
 	}
-	if err := run("none", "double", "bogus", 1000, 3, 16, 1, false, false, "", ""); err == nil {
+	if err := run("none", "double", "bogus", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}); err == nil {
 		t.Fatal("unknown profile accepted")
 	}
 }
@@ -96,14 +99,91 @@ func TestRunTraceRecordReplay(t *testing.T) {
 	silence(t)
 	dir := t.TempDir()
 	out := dir + "/attack.jsonl"
-	if err := run("none", "double", "lpddr4", 500_000, 2, 16, 1, false, false, out, ""); err != nil {
+	if err := run("none", "double", "lpddr4", 500_000, 2, 16, 1, false, false, out, "", cliutil.ObsFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
 		t.Fatalf("trace not written: %v", err)
 	}
 	// Replay the recorded attack against a different defense.
-	if err := run("swrefresh", "double", "lpddr4", 500_000, 2, 16, 1, false, false, "", out); err != nil {
+	if err := run("swrefresh", "double", "lpddr4", 500_000, 2, 16, 1, false, false, "", out, cliutil.ObsFlags{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunObservabilityFlags(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	traceFile := dir + "/events.json"
+	metricsFile := dir + "/metrics.json"
+	flags := cliutil.ObsFlags{TraceEvents: traceFile, TraceFormat: "chrome", MetricsOut: metricsFile}
+	if err := run("swrefresh", "double", "lpddr4", 2_000_000, 2, 32, 1, false, false, "", "", flags); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trace must be valid Chrome trace-event JSON with ACT events on
+	// at least two banks plus REF and defense-trigger events.
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tracefile struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tracefile); err != nil {
+		t.Fatalf("trace is not valid Chrome trace JSON: %v", err)
+	}
+	actBanks := map[int]bool{}
+	kinds := map[string]int{}
+	for _, ev := range tracefile.TraceEvents {
+		kinds[ev.Name]++
+		if ev.Name == "act" {
+			actBanks[ev.Tid] = true
+		}
+	}
+	if len(actBanks) < 2 {
+		t.Errorf("ACT events cover %d banks, want >= 2", len(actBanks))
+	}
+	if kinds["ref"] == 0 || kinds["defense-trigger"] == 0 {
+		t.Errorf("missing event kinds: %v", kinds)
+	}
+
+	// The metrics dump must parse and include at least one histogram.
+	data, err = os.ReadFile(metricsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Histograms []struct {
+			Name  string `json:"name"`
+			Count uint64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics are not valid JSON: %v", err)
+	}
+	if len(snap.Histograms) == 0 {
+		t.Fatal("metrics JSON has no histograms")
+	}
+	populated := false
+	for _, h := range snap.Histograms {
+		if h.Count > 0 {
+			populated = true
+		}
+	}
+	if !populated {
+		t.Errorf("all histograms empty: %+v", snap.Histograms)
+	}
+}
+
+func TestRunRejectsBadTraceFormat(t *testing.T) {
+	silence(t)
+	flags := cliutil.ObsFlags{TraceEvents: t.TempDir() + "/x", TraceFormat: "bogus"}
+	if err := run("none", "double", "lpddr4", 1000, 2, 16, 1, false, false, "", "", flags); err == nil {
+		t.Fatal("unknown trace format accepted")
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hammertime/internal/trace"
@@ -59,5 +60,29 @@ func TestGenAllWorkloads(t *testing.T) {
 func TestStatsMissingFile(t *testing.T) {
 	if err := statsCmd([]string{"-in", "/nonexistent/trace.jsonl"}); err == nil {
 		t.Fatal("missing trace accepted")
+	}
+}
+
+func TestStatsTruncatedTrace(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	if err := genCmd([]string{"-count", "100", "-lines", "64", "-out", full}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file off mid-line, as an interrupted copy would.
+	trunc := filepath.Join(dir, "trunc.jsonl")
+	if err := os.WriteFile(trunc, data[:len(data)/2-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = statsCmd([]string{"-in", trunc, "-top", "3"})
+	if err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if !strings.Contains(err.Error(), "trace: truncated at event") {
+		t.Fatalf("err = %v, want truncated-at-event", err)
 	}
 }

@@ -12,6 +12,8 @@ package cache
 import (
 	"errors"
 	"fmt"
+
+	"hammertime/internal/obs"
 )
 
 // Common cache errors.
@@ -67,6 +69,9 @@ type Cache struct {
 
 	hits, misses, flushes, writebacks uint64
 	lockedLines                       map[uint64]bool
+
+	rec   *obs.Recorder
+	clock func() uint64 // event timestamps; nil means cycle 0
 }
 
 // New validates cfg and builds a cache.
@@ -82,6 +87,22 @@ func New(cfg Config) (*Cache, error) {
 		c.sets[i] = make([]way, cfg.Ways)
 	}
 	return c, nil
+}
+
+// SetRecorder attaches an event recorder and a clock supplying event
+// timestamps (the cache model itself is untimed; the machine passes the
+// memory controller's current cycle). Pure observer: recording changes no
+// cache behavior. nil recorder disables recording.
+func (c *Cache) SetRecorder(r *obs.Recorder, clock func() uint64) {
+	c.rec = r
+	c.clock = clock
+}
+
+func (c *Cache) nowCycle() uint64 {
+	if c.clock == nil {
+		return 0
+	}
+	return c.clock()
 }
 
 // Config returns the cache configuration.
@@ -198,6 +219,7 @@ func (c *Cache) Lock(line uint64) error {
 		}
 		set[idx].locked = true
 		c.lockedLines[line] = true
+		c.emitLock(obs.KindLineLock, line)
 		return nil
 	}
 	if locked >= c.cfg.MaxLockedWays {
@@ -226,7 +248,15 @@ func (c *Cache) Lock(line uint64) error {
 	}
 	set[victim] = way{line: line, valid: true, locked: true, lru: c.tick}
 	c.lockedLines[line] = true
+	c.emitLock(obs.KindLineLock, line)
 	return nil
+}
+
+func (c *Cache) emitLock(kind obs.Kind, line uint64) {
+	if !c.rec.Wants(kind) {
+		return
+	}
+	c.rec.Emit(obs.Event{Kind: kind, Cycle: c.nowCycle(), Bank: -1, Row: -1, Domain: -1, Line: line})
 }
 
 // Unlock releases a previously locked line (it stays cached).
@@ -236,6 +266,9 @@ func (c *Cache) Unlock(line uint64) {
 		if set[i].valid && set[i].line == line {
 			set[i].locked = false
 		}
+	}
+	if c.lockedLines[line] {
+		c.emitLock(obs.KindLineUnlock, line)
 	}
 	delete(c.lockedLines, line)
 }

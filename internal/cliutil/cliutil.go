@@ -1,0 +1,146 @@
+// Package cliutil holds the observability surface shared by the CLI
+// tools: event-trace flags (-trace-events/-trace-format), machine-
+// readable metrics output (-metrics-out), and opt-in pprof profiling
+// (-pprof-cpu/-pprof-http).
+package cliutil
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on -pprof-http
+	"os"
+	"runtime/pprof"
+
+	"hammertime/internal/obs"
+)
+
+// ObsFlags collects the observability command-line options.
+type ObsFlags struct {
+	TraceEvents string
+	TraceFormat string
+	MetricsOut  string
+	PprofCPU    string
+	PprofHTTP   string
+}
+
+// Register installs the flags on the default flag set.
+func (f *ObsFlags) Register() {
+	flag.StringVar(&f.TraceEvents, "trace-events", "", "write the simulator event stream to this file (see -trace-format)")
+	flag.StringVar(&f.TraceFormat, "trace-format", "jsonl", "event trace format: jsonl, or chrome (open in Perfetto / chrome://tracing)")
+	flag.StringVar(&f.MetricsOut, "metrics-out", "", "write machine-readable metrics JSON to this file")
+	flag.StringVar(&f.PprofCPU, "pprof-cpu", "", "write a CPU profile of the run to this file")
+	flag.StringVar(&f.PprofHTTP, "pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// Session is the started observability state. Close flushes and releases
+// everything; it is safe to call on a zero Session.
+type Session struct {
+	// Recorder is non-nil iff -trace-events was given. Attach it to the
+	// machines under test (e.g. via AttackOpts.Observer).
+	Recorder *obs.Recorder
+
+	traceFile   *os.File
+	profFile    *os.File
+	metricsPath string
+	synced      bool
+}
+
+// Start opens files, builds the event recorder, and begins profiling
+// according to the flags. syncSinks wraps the trace sink in a mutex —
+// required when the recorder will be shared across parallel harness
+// cells.
+func (f *ObsFlags) Start(syncSinks bool) (*Session, error) {
+	s := &Session{metricsPath: f.MetricsOut, synced: syncSinks}
+	if f.TraceEvents != "" {
+		file, err := os.Create(f.TraceEvents)
+		if err != nil {
+			return nil, fmt.Errorf("trace-events: %w", err)
+		}
+		var sink obs.Sink
+		switch f.TraceFormat {
+		case "jsonl":
+			sink = obs.NewJSONL(file)
+		case "chrome":
+			sink = obs.NewChromeTrace(file)
+		default:
+			file.Close()
+			return nil, fmt.Errorf("trace-format: unknown format %q (want jsonl or chrome)", f.TraceFormat)
+		}
+		if syncSinks {
+			sink = obs.NewSyncSink(sink)
+		}
+		s.traceFile = file
+		s.Recorder = obs.NewRecorder(sink)
+	}
+	if f.PprofCPU != "" {
+		file, err := os.Create(f.PprofCPU)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("pprof-cpu: %w", err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			s.Close()
+			return nil, fmt.Errorf("pprof-cpu: %w", err)
+		}
+		s.profFile = file
+	}
+	if f.PprofHTTP != "" {
+		addr := f.PprofHTTP
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof-http:", err)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// WriteMetrics serializes v (a sim.StatsSnapshot, a harness.BenchReport,
+// or any other JSON-ready report) to the -metrics-out file. No-op when
+// the flag was not given.
+func (s *Session) WriteMetrics(v interface{}) error {
+	if s.metricsPath == "" {
+		return nil
+	}
+	file, err := os.Create(s.metricsPath)
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	enc := json.NewEncoder(file)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(v)
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	return nil
+}
+
+// Close flushes the event trace and stops CPU profiling.
+func (s *Session) Close() error {
+	var first error
+	if s.Recorder != nil {
+		if err := s.Recorder.Flush(); err != nil {
+			first = err
+		}
+	}
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.traceFile = nil
+	}
+	if s.profFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.profFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.profFile = nil
+	}
+	return first
+}

@@ -13,6 +13,7 @@ import (
 	"hammertime/internal/dram"
 	"hammertime/internal/hostos"
 	"hammertime/internal/memctrl"
+	"hammertime/internal/obs"
 	"hammertime/internal/sim"
 )
 
@@ -168,6 +169,7 @@ type Machine struct {
 	RNG    *sim.RNG
 
 	daemons []Agent
+	rec     *obs.Recorder
 
 	// Flip accounting (attributed via the kernel's ownership tables).
 	flips           uint64
@@ -332,6 +334,24 @@ func NewMachine(spec MachineSpec) (*Machine, error) {
 	mod.SetFlipObserver(m.onFlip)
 	return m, nil
 }
+
+// SetRecorder threads an event recorder through every component of the
+// machine: DRAM commands, memory-controller scheduling, cache line
+// locking (timestamped with the controller's clock), and kernel page
+// migrations. Software defenses read the recorder lazily via Recorder(),
+// so attaching it before or after BuildWithDefense both work. nil
+// detaches. Recording is observer-only — simulation results are
+// byte-identical with or without it.
+func (m *Machine) SetRecorder(r *obs.Recorder) {
+	m.rec = r
+	m.DRAM.SetRecorder(r)
+	m.MC.SetRecorder(r)
+	m.Kernel.SetRecorder(r)
+	m.Cache.SetRecorder(r, m.MC.Now)
+}
+
+// Recorder returns the machine's event recorder (nil when detached).
+func (m *Machine) Recorder() *obs.Recorder { return m.rec }
 
 // onFlip attributes every bit flip to aggressor and victim domains. The
 // aggressor domain is known exactly: the memory controller tags each

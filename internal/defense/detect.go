@@ -3,6 +3,7 @@ package defense
 import (
 	"hammertime/internal/core"
 	"hammertime/internal/memctrl"
+	"hammertime/internal/obs"
 	"hammertime/internal/sim"
 )
 
@@ -20,6 +21,11 @@ type detector struct {
 	window      uint64
 	randomize   bool
 	rng         *sim.RNG
+
+	// machine is retained for the event recorder, which is read lazily at
+	// observe time: the recorder is usually attached after BuildWithDefense
+	// (and therefore after Attach built this detector).
+	machine *core.Machine
 
 	counts    map[[2]int]uint64
 	windowEnd uint64
@@ -42,6 +48,7 @@ func newDetector(m *core.Machine, randomize bool) *detector {
 		window:      m.Spec.Timing.RefreshWindow,
 		randomize:   randomize,
 		rng:         m.RNG.Fork(),
+		machine:     m,
 		counts:      make(map[[2]int]uint64),
 	}
 }
@@ -78,6 +85,14 @@ func (d *detector) observe(ev memctrl.ACTEvent) (flagged bool, resetTo uint64) {
 	if d.counts[key] >= d.hits {
 		delete(d.counts, key)
 		d.flagged++
+		d.machine.Recorder().Emit(obs.Event{
+			Kind:   obs.KindDefenseTrigger,
+			Cycle:  ev.Cycle,
+			Bank:   ev.Bank,
+			Row:    ev.Row,
+			Domain: ev.Domain,
+			Line:   ev.Line,
+		})
 		return true, resetTo
 	}
 	return false, resetTo

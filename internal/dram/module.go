@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"hammertime/internal/ecc"
+	"hammertime/internal/obs"
 	"hammertime/internal/sim"
 )
 
@@ -69,6 +70,16 @@ type Module struct {
 
 	rng   *sim.RNG
 	stats *sim.Stats
+	rec   *obs.Recorder
+
+	// actVec is the live "dram.act.bank" per-bank counter slice (held to
+	// skip the stats map lookup on the ACT hot path); actsPerRow is the
+	// ACTs-per-row-per-refresh-window histogram, fed when a row's counter
+	// is reset by refresh. lastCycle remembers the most recent command
+	// cycle for events on commands that carry no cycle (PRE, RefreshRow).
+	actVec     []int64
+	actsPerRow *sim.Histogram
+	lastCycle  uint64
 
 	// Refresh sweep state: refreshPtr is the next bank-local row the sweep
 	// will recharge (same row index in every bank). The sweep advances
@@ -150,6 +161,8 @@ func NewModule(cfg Config) (*Module, error) {
 		m.checks = make(map[uint64][8]uint8)
 		m.originals = make(map[uint64][]byte)
 	}
+	m.actVec = m.stats.EnsureVec("dram.act.bank", cfg.Geometry.Banks)
+	m.actsPerRow = m.stats.NewHistogram("dram.acts_per_row", sim.ExpBuckets(1, 2, 17))
 	rows := cfg.Geometry.RowsPerBank()
 	for i := range m.banks {
 		m.banks[i] = bank{openRow: -1, disturb: make([]float64, rows), acts: make([]uint64, rows)}
@@ -180,6 +193,11 @@ func (m *Module) Profile() DisturbanceProfile { return m.prof }
 // Stats returns the module's stats registry.
 func (m *Module) Stats() *sim.Stats { return m.stats }
 
+// SetRecorder attaches an event recorder (nil disables recording). The
+// recorder is a pure observer: it never changes command behavior, timing
+// or RNG consumption.
+func (m *Module) SetRecorder(r *obs.Recorder) { m.rec = r }
+
 // SetFlipObserver registers fn to be called synchronously on every bit
 // flip (in addition to recording). Pass nil to remove.
 func (m *Module) SetFlipObserver(fn func(FlipEvent)) { m.crossFlips = fn }
@@ -205,6 +223,9 @@ func (m *Module) Activate(bankIdx, row int, cycle uint64, actorDomain int) ([]Fl
 	b := &m.banks[bankIdx]
 	b.openRow = row
 	m.stats.Inc("dram.act")
+	m.actVec[bankIdx]++
+	m.lastCycle = cycle
+	m.rec.Emit(obs.Event{Kind: obs.KindACT, Cycle: cycle, Bank: bankIdx, Row: row, Domain: actorDomain})
 	b.acts[row]++
 	// An ACT recharges the activated row as a side effect (§2.1).
 	b.disturb[row] = 0
@@ -236,6 +257,9 @@ func (m *Module) activateInternal(bankIdx, row int, cycle uint64) ([]FlipEvent, 
 	b := &m.banks[bankIdx]
 	b.openRow = row
 	m.stats.Inc("dram.act")
+	m.actVec[bankIdx]++
+	m.lastCycle = cycle
+	m.rec.Emit(obs.Event{Kind: obs.KindACT, Cycle: cycle, Bank: bankIdx, Row: row, Domain: -1})
 	b.disturb[row] = 0
 	var flips []FlipEvent
 	sub := m.geom.SubarrayOf(row)
@@ -319,6 +343,14 @@ func (m *Module) applyFlip(ev FlipEvent) {
 		checks[cb/8] ^= 1 << (cb % 8)
 		m.checks[key] = checks
 	}
+	m.rec.Emit(obs.Event{
+		Kind:   obs.KindBitFlip,
+		Cycle:  ev.Cycle,
+		Bank:   ev.Bank,
+		Row:    ev.Row,
+		Domain: ev.ActorDomain,
+		Arg:    uint64(ev.Bit),
+	})
 	if m.crossFlips != nil {
 		m.crossFlips(ev)
 	}
@@ -353,6 +385,7 @@ func (m *Module) Precharge(bankIdx int) error {
 	}
 	m.banks[bankIdx].openRow = -1
 	m.stats.Inc("dram.pre")
+	m.rec.Emit(obs.Event{Kind: obs.KindPRE, Cycle: m.lastCycle, Bank: bankIdx, Row: -1, Domain: -1})
 	return nil
 }
 
@@ -362,6 +395,8 @@ func (m *Module) Precharge(bankIdx int) error {
 // The memory controller is responsible for issuing Refresh every TREFI.
 func (m *Module) Refresh(cycle uint64) {
 	m.stats.Inc("dram.ref")
+	m.lastCycle = cycle
+	m.rec.Emit(obs.Event{Kind: obs.KindREF, Cycle: cycle, Bank: -1, Row: -1, Domain: -1})
 	rows := m.geom.RowsPerBank()
 	m.refAccum += rows
 	for m.refAccum >= m.refDenom {
@@ -381,7 +416,10 @@ func (m *Module) Refresh(cycle uint64) {
 func (m *Module) refreshRowInternal(bankIdx, row int) {
 	b := &m.banks[bankIdx]
 	b.disturb[row] = 0
-	b.acts[row] = 0
+	if acts := b.acts[row]; acts > 0 {
+		m.actsPerRow.Observe(float64(acts))
+		b.acts[row] = 0
+	}
 }
 
 // RefreshRow performs a targeted refresh of one row, as issued by the
@@ -397,6 +435,7 @@ func (m *Module) RefreshRow(bankIdx, row int) error {
 		return fmt.Errorf("dram: refresh row: row %d out of range [0,%d)", row, m.geom.RowsPerBank())
 	}
 	m.stats.Inc("dram.targeted_refresh")
+	m.rec.Emit(obs.Event{Kind: obs.KindTargetedRefresh, Cycle: m.lastCycle, Bank: bankIdx, Row: row, Domain: -1})
 	m.refreshRowInternal(bankIdx, row)
 	return nil
 }
@@ -415,6 +454,8 @@ func (m *Module) RefreshNeighbors(bankIdx, row, radius int, cycle uint64) error 
 		return fmt.Errorf("dram: refresh neighbors: radius %d, need > 0", radius)
 	}
 	m.stats.Inc("dram.ref_neighbors")
+	m.lastCycle = cycle
+	m.rec.Emit(obs.Event{Kind: obs.KindRefNeighbors, Cycle: cycle, Bank: bankIdx, Row: row, Domain: -1, Arg: uint64(radius)})
 	sub := m.geom.SubarrayOf(row)
 	for dist := 1; dist <= radius; dist++ {
 		for _, victim := range [2]int{row - dist, row + dist} {

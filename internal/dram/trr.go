@@ -1,6 +1,10 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"hammertime/internal/obs"
+)
 
 // TRRConfig configures the in-DRAM blackbox Target Row Refresh baseline.
 //
@@ -146,6 +150,7 @@ func (t *trrEngine) onRefresh(m *Module, cycle uint64) {
 			if top < 0 || topCount < t.cfg.CureThreshold {
 				break
 			}
+			m.rec.Emit(obs.Event{Kind: obs.KindTRRCure, Cycle: cycle, Bank: bankIdx, Row: top, Domain: -1})
 			if t.cfg.CureWithACT {
 				// Activate-based cure: recharges the victims but lets
 				// their own neighbors absorb disturbance (Half-Double).

@@ -13,6 +13,7 @@ import (
 	"hammertime/internal/cpu"
 	"hammertime/internal/dma"
 	"hammertime/internal/hostos"
+	"hammertime/internal/obs"
 	"hammertime/internal/trace"
 	"hammertime/internal/workload"
 )
@@ -79,6 +80,13 @@ type AttackOpts struct {
 	// default (SetParallelism / GOMAXPROCS), 1 forces serial. Parallel
 	// and serial runs produce byte-identical tables.
 	Parallelism int
+	// Observer, when non-nil, is attached to each machine before the run
+	// and receives the full simulator event stream (ACTs, refreshes,
+	// defense triggers, flips — see internal/obs). Observer-only:
+	// simulation results are byte-identical with or without it. When the
+	// same recorder serves parallel grid cells, wrap its sinks in
+	// obs.NewSyncSink.
+	Observer *obs.Recorder
 }
 
 func (o *AttackOpts) applyDefaults() {
@@ -124,6 +132,9 @@ func RunAttack(spec core.MachineSpec, d core.Defense, kind attack.Kind, opts Att
 	m, err := core.BuildWithDefense(spec, d)
 	if err != nil {
 		return AttackOutcome{}, err
+	}
+	if opts.Observer != nil {
+		m.SetRecorder(opts.Observer)
 	}
 	tenants, err := SetupTenants(m, opts.Tenants, opts.PagesPerTenant)
 	if err != nil {
@@ -201,6 +212,12 @@ func RunAttack(spec core.MachineSpec, d core.Defense, kind attack.Kind, opts Att
 	res, err := m.Run(agents, opts.Horizon)
 	if err != nil {
 		return AttackOutcome{}, err
+	}
+	if c := benchCollector(); c != nil {
+		// Simulated-event throughput for the performance report: memory
+		// requests plus DRAM commands this run processed.
+		c.addEvents(uint64(res.Stats.Counter("mc.requests") +
+			res.Stats.Counter("dram.act") + res.Stats.Counter("dram.ref")))
 	}
 	out := AttackOutcome{
 		Attack:       kind.Name,

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The experiment grids of E1-E10 are embarrassingly parallel: every
@@ -57,6 +58,17 @@ func resolveWorkers(requested int) int {
 // cells and the lowest-index error among the attempted cells is returned —
 // the same error a serial run would hit first among those attempted.
 func runCells(workers, n int, fn func(i int) error) error {
+	if c := benchCollector(); c != nil {
+		// Time every cell for the performance report. Observer-only: the
+		// wrapped fn runs exactly as before.
+		inner := fn
+		fn = func(i int) error {
+			start := time.Now()
+			err := inner(i)
+			c.recordCell(i, time.Since(start))
+			return err
+		}
+	}
 	workers = resolveWorkers(workers)
 	if workers > n {
 		workers = n

@@ -6,6 +6,7 @@ import (
 	"hammertime/internal/addr"
 	"hammertime/internal/dram"
 	"hammertime/internal/memctrl"
+	"hammertime/internal/obs"
 	"hammertime/internal/sim"
 )
 
@@ -37,6 +38,7 @@ type Kernel struct {
 	uncoreMove bool
 
 	stats *sim.Stats
+	rec   *obs.Recorder
 }
 
 // NewKernel builds a kernel over the controller and allocator. Domain 0
@@ -79,6 +81,10 @@ func NewKernel(mc *memctrl.Controller, alloc Allocator) (*Kernel, error) {
 
 // Stats returns the kernel's stats registry.
 func (k *Kernel) Stats() *sim.Stats { return k.stats }
+
+// SetRecorder attaches an event recorder (nil disables recording). Pure
+// observer: recording changes no kernel behavior.
+func (k *Kernel) SetRecorder(r *obs.Recorder) { k.rec = r }
 
 // Allocator returns the kernel's page allocator.
 func (k *Kernel) Allocator() Allocator { return k.alloc }
@@ -260,6 +266,15 @@ func (k *Kernel) MigratePage(domain int, vpn uint64, now uint64) (MigrationResul
 		return MigrationResult{}, err
 	}
 	k.stats.Inc("os.pages_migrated")
+	k.rec.Emit(obs.Event{
+		Kind:   obs.KindPageMigration,
+		Cycle:  t,
+		Bank:   -1,
+		Row:    -1,
+		Domain: domain,
+		Line:   newFrame,
+		Arg:    oldFrame,
+	})
 	return MigrationResult{OldFrame: oldFrame, NewFrame: newFrame, Completion: t}, nil
 }
 

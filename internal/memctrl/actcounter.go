@@ -1,5 +1,7 @@
 package memctrl
 
+import "hammertime/internal/obs"
+
 // ACTEvent is delivered to the registered interrupt handler when the
 // controller's ACT counter overflows its threshold.
 //
@@ -50,8 +52,10 @@ type actCounter struct {
 	overflows uint64
 }
 
-// onACT records one activation and fires the handler on overflow.
-func (c *actCounter) onACT(ev ACTEvent) {
+// onACT records one activation and fires the handler on overflow. The
+// recorder observes each delivered interrupt exactly as the handler sees
+// it (legacy-mode deliveries carry no address).
+func (c *actCounter) onACT(ev ACTEvent, rec *obs.Recorder) {
 	if !c.enabled {
 		return
 	}
@@ -62,6 +66,13 @@ func (c *actCounter) onACT(ev ACTEvent) {
 	c.overflows++
 	if !c.precise {
 		ev = ACTEvent{Cycle: ev.Cycle, Source: ev.Source}
+	}
+	if rec.Wants(obs.KindACTInterrupt) {
+		out := obs.Event{Kind: obs.KindACTInterrupt, Cycle: ev.Cycle, Bank: -1, Row: -1, Domain: -1}
+		if ev.HasAddr {
+			out.Bank, out.Row, out.Domain, out.Line = ev.Bank, ev.Row, ev.Domain, ev.Line
+		}
+		rec.Emit(out)
 	}
 	c.inHandler = true
 	c.count = c.handler(ev)

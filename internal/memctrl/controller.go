@@ -6,6 +6,7 @@ import (
 
 	"hammertime/internal/addr"
 	"hammertime/internal/dram"
+	"hammertime/internal/obs"
 	"hammertime/internal/sim"
 )
 
@@ -84,6 +85,11 @@ type Controller struct {
 
 	rng   *sim.RNG
 	stats *sim.Stats
+	rec   *obs.Recorder
+
+	// Hot-path histogram handles (skip the stats map lookup per request).
+	interACT *sim.Histogram
+	service  *sim.Histogram
 }
 
 // NewController validates cfg and builds a controller.
@@ -128,8 +134,15 @@ func NewController(cfg Config) (*Controller, error) {
 		rng:        sim.NewRNG(cfg.Seed ^ 0x5bd1e995cafef00d),
 		stats:      &sim.Stats{},
 	}
+	c.interACT = c.stats.NewHistogram("mc.inter_act_cycles", sim.ExpBuckets(8, 2, 16))
+	c.service = c.stats.NewHistogram("mc.service_cycles", sim.ExpBuckets(8, 2, 16))
 	return c, nil
 }
+
+// SetRecorder attaches an event recorder (nil disables recording). The
+// recorder is a pure observer: it never changes scheduling, timing or RNG
+// consumption.
+func (c *Controller) SetRecorder(r *obs.Recorder) { c.rec = r }
 
 // Stats returns the controller's stats registry.
 func (c *Controller) Stats() *sim.Stats { return c.stats }
@@ -227,18 +240,25 @@ func (c *Controller) ServeRequest(req Request, arrival uint64) (ServiceResult, e
 		start = br
 	}
 
+	if res.ThrottleDelay > 0 {
+		c.rec.Emit(obs.Event{Kind: obs.KindThrottle, Cycle: arrival, Bank: d.Bank, Row: d.Row, Domain: req.Domain, Arg: res.ThrottleDelay})
+	}
+
 	var lat uint64
 	switch {
 	case !wouldAct:
 		lat = c.timing.RowHitLatency()
 		res.RowHit = true
 		c.stats.Inc("mc.row_hits")
+		c.rec.Emit(obs.Event{Kind: obs.KindRowHit, Cycle: start, Bank: d.Bank, Row: d.Row, Domain: req.Domain})
 	case open < 0:
 		lat = c.timing.RowEmptyLatency()
 		c.stats.Inc("mc.row_empty")
+		c.rec.Emit(obs.Event{Kind: obs.KindRowEmpty, Cycle: start, Bank: d.Bank, Row: d.Row, Domain: req.Domain})
 	default:
 		lat = c.timing.RowMissLatency()
 		c.stats.Inc("mc.row_conflicts")
+		c.rec.Emit(obs.Event{Kind: obs.KindRowConflict, Cycle: start, Bank: d.Bank, Row: d.Row, Domain: req.Domain})
 	}
 
 	if wouldAct {
@@ -278,6 +298,7 @@ func (c *Controller) ServeRequest(req Request, arrival uint64) (ServiceResult, e
 	}
 	res.Start = start
 	res.Completion = completion
+	c.service.Observe(float64(completion - arrival))
 	c.stats.Inc("mc.requests")
 	if req.Write {
 		c.stats.Inc("mc.writes")
@@ -294,6 +315,9 @@ func (c *Controller) activate(bank, row int, start uint64, req Request) error {
 	if _, err := c.dram.Activate(bank, row, start, req.Domain); err != nil {
 		return err
 	}
+	if last := c.lastACT[bank]; last > 0 {
+		c.interACT.Observe(float64(start - (last - 1)))
+	}
 	c.lastACT[bank] = start + 1
 	c.stats.Inc("mc.acts")
 
@@ -305,7 +329,7 @@ func (c *Controller) activate(bank, row int, start uint64, req Request) error {
 		Row:     row,
 		Domain:  req.Domain,
 		Source:  req.Source,
-	})
+	}, c.rec)
 
 	if c.paraProb > 0 && c.rng.Bool(c.paraProb) {
 		// PARA: refresh one uniformly-chosen neighbor within the radius.
@@ -325,6 +349,7 @@ func (c *Controller) activate(bank, row int, start uint64, req Request) error {
 
 	if c.graphene != nil {
 		if hot := c.graphene.onACT(bank, row); hot >= 0 {
+			c.rec.Emit(obs.Event{Kind: obs.KindGrapheneTrigger, Cycle: start, Bank: bank, Row: hot, Domain: -1})
 			radius := c.graphene.Radius
 			if err := c.dram.RefreshNeighbors(bank, hot, radius, start); err != nil {
 				return err

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{Kind: KindACT, Cycle: 1})
+	if r.Wants(KindACT) {
+		t.Fatal("nil recorder wants events")
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatalf("nil flush: %v", err)
+	}
+}
+
+func TestEmitDisabledAllocates(t *testing.T) {
+	var r *Recorder
+	ev := Event{Kind: KindACT, Cycle: 7, Bank: 1, Row: 2, Domain: 0}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Emit(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Emit allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestRingEmitAllocates(t *testing.T) {
+	ring := NewRing(64)
+	r := NewRecorder(ring)
+	ev := Event{Kind: KindACT, Cycle: 7, Bank: 1, Row: 2, Domain: 0}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Emit(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("ring Emit allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestKindMask(t *testing.T) {
+	ring := NewRing(16)
+	r := NewRecorder(ring)
+	r.SetKinds(KindBitFlip)
+	if !r.Wants(KindBitFlip) || r.Wants(KindACT) {
+		t.Fatal("mask not applied")
+	}
+	r.Emit(Event{Kind: KindACT})
+	r.Emit(Event{Kind: KindBitFlip, Row: 9})
+	evs := ring.Events()
+	if len(evs) != 1 || evs[0].Kind != KindBitFlip || evs[0].Row != 9 {
+		t.Fatalf("got %v", evs)
+	}
+	r.SetKinds()
+	if !r.Wants(KindACT) {
+		t.Fatal("empty SetKinds should restore all kinds")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	ring := NewRing(3)
+	for i := 0; i < 5; i++ {
+		ring.Record(Event{Kind: KindACT, Cycle: uint64(i)})
+	}
+	evs := ring.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(i + 2); ev.Cycle != want {
+			t.Fatalf("event %d cycle %d, want %d (oldest-first)", i, ev.Cycle, want)
+		}
+	}
+	if ring.Total() != 5 {
+		t.Fatalf("total %d, want 5", ring.Total())
+	}
+	if ring.Count(KindACT) != 3 {
+		t.Fatalf("count %d, want 3", ring.Count(KindACT))
+	}
+}
+
+func TestKindNamesComplete(t *testing.T) {
+	seen := map[string]Kind{}
+	for _, k := range Kinds() {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("kinds %d and %d share name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+}
+
+func TestJSONLOutput(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	r := NewRecorder(sink)
+	r.Emit(Event{Kind: KindACT, Cycle: 42, Bank: 3, Row: 512, Domain: 1})
+	r.Emit(Event{Kind: KindREF, Cycle: 100, Bank: -1, Row: -1, Domain: -1})
+	r.Emit(Event{Kind: KindThrottle, Cycle: 7, Bank: 0, Row: 1, Domain: 2, Arg: 99})
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if first["kind"] != "act" || first["cycle"] != float64(42) || first["bank"] != float64(3) {
+		t.Fatalf("bad first line: %v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if _, has := second["bank"]; has {
+		t.Fatalf("sentinel bank should be omitted: %v", second)
+	}
+	var third map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &third); err != nil {
+		t.Fatal(err)
+	}
+	if third["arg"] != float64(99) {
+		t.Fatalf("arg missing: %v", third)
+	}
+}
+
+// chromeFile is the top-level shape of a Chrome trace-event file.
+type chromeFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestChromeTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeTrace(&buf)
+	r := NewRecorder(sink)
+	r.Emit(Event{Kind: KindACT, Cycle: 10, Bank: 0, Row: 5, Domain: 0})
+	r.Emit(Event{Kind: KindACT, Cycle: 20, Bank: 1, Row: 6, Domain: 1})
+	r.Emit(Event{Kind: KindREF, Cycle: 30, Bank: -1, Row: -1, Domain: -1})
+	r.Emit(Event{Kind: KindTRRCure, Cycle: 40, Bank: 1, Row: 6, Domain: -1})
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatalf("second flush must be a no-op, got %v", err)
+	}
+	var file chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	banks := map[int]bool{}
+	var sawREF, sawCure bool
+	names := map[string]bool{}
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			names[ev.Name] = true
+		case "i":
+			switch ev.Name {
+			case "act":
+				if b, ok := ev.Args["bank"].(float64); ok {
+					banks[int(b)] = true
+				}
+			case "ref":
+				sawREF = true
+			case "trr-cure":
+				sawCure = true
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if len(banks) != 2 {
+		t.Fatalf("ACTs on %d banks, want 2", len(banks))
+	}
+	if !sawREF || !sawCure {
+		t.Fatalf("missing events: ref=%v cure=%v", sawREF, sawCure)
+	}
+	if !names["process_name"] || !names["thread_name"] {
+		t.Fatal("missing track metadata events")
+	}
+}
+
+func TestSyncSink(t *testing.T) {
+	ring := NewRing(256)
+	sink := NewSyncSink(ring)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				sink.Record(Event{Kind: KindACT, Cycle: uint64(g*100 + i)})
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Total() != 200 {
+		t.Fatalf("total %d, want 200", ring.Total())
+	}
+}
+
+// BenchmarkRecorderDisabled pins the cost of the disabled observability
+// path: a nil *Recorder Emit must be branch-only, 0 allocs/op. CI fails
+// if this ever allocates.
+func BenchmarkRecorderDisabled(b *testing.B) {
+	var r *Recorder
+	ev := Event{Kind: KindACT, Cycle: 1, Bank: 2, Row: 3, Domain: 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.Cycle = uint64(i)
+		r.Emit(ev)
+	}
+}
+
+// BenchmarkRecorderRing measures the enabled path into the ring sink.
+func BenchmarkRecorderRing(b *testing.B) {
+	r := NewRecorder(NewRing(1024))
+	ev := Event{Kind: KindACT, Cycle: 1, Bank: 2, Row: 3, Domain: 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.Cycle = uint64(i)
+		r.Emit(ev)
+	}
+}

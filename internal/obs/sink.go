@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Ring is a bounded in-memory sink holding the most recent events. It is
+// the test sink: cheap, allocation-free after construction, and easy to
+// assert against.
+type Ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+// NewRing returns a ring buffer retaining the last n events (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Record implements Sink.
+func (r *Ring) Record(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Flush implements Sink (no-op).
+func (*Ring) Flush() error { return nil }
+
+// Total returns how many events were recorded over the ring's lifetime,
+// including ones that have since been overwritten.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Count returns how many events of kind k are currently retained.
+func (r *Ring) Count(k Kind) int {
+	n := 0
+	for _, ev := range r.Events() {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// JSONL streams events as JSON lines:
+//
+//	{"kind":"act","cycle":1042,"bank":3,"row":512,"domain":1}
+//
+// Zero-valued optional fields (line, arg) and sentinel bank/row/domain
+// (-1) are omitted, keeping lines short. Output is buffered; call Flush
+// (or Recorder.Flush) before closing the underlying writer.
+type JSONL struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONL returns a JSONL sink writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Record implements Sink.
+func (j *JSONL) Record(ev Event) {
+	if j.err != nil {
+		return
+	}
+	b := j.w
+	b.WriteString(`{"kind":"`)
+	b.WriteString(ev.Kind.String())
+	b.WriteString(`","cycle":`)
+	writeUint(b, ev.Cycle)
+	if ev.Bank >= 0 {
+		b.WriteString(`,"bank":`)
+		writeInt(b, ev.Bank)
+	}
+	if ev.Row >= 0 {
+		b.WriteString(`,"row":`)
+		writeInt(b, ev.Row)
+	}
+	if ev.Domain >= 0 {
+		b.WriteString(`,"domain":`)
+		writeInt(b, ev.Domain)
+	}
+	if ev.Line != 0 {
+		b.WriteString(`,"line":`)
+		writeUint(b, ev.Line)
+	}
+	if ev.Arg != 0 {
+		b.WriteString(`,"arg":`)
+		writeUint(b, ev.Arg)
+	}
+	b.WriteString("}\n")
+}
+
+// Flush implements Sink.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}
+
+func writeUint(b *bufio.Writer, v uint64) {
+	var scratch [20]byte
+	b.Write(strconv.AppendUint(scratch[:0], v, 10))
+}
+
+func writeInt(b *bufio.Writer, v int) {
+	var scratch [20]byte
+	b.Write(strconv.AppendInt(scratch[:0], int64(v), 10))
+}
+
+// ChromeTrace streams events in Chrome trace-event JSON format, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Layout:
+//
+//   - process "dram" (pid 0): one thread track per bank (tid = bank+1),
+//     plus tid 0 ("rank") for rank-wide events like REF;
+//   - process "defense" (pid 1): one track per triggering subsystem
+//     (TRR, Graphene, throttle, ACT interrupt, defense detectors);
+//   - process "system" (pid 2): OS/cache events (migration, line locks)
+//     and bit flips.
+//
+// Every event is an instant event (ph "i") with ts = simulation cycle
+// (the viewer renders it as microseconds; only relative spacing matters).
+// Metadata (process_name/thread_name) is emitted lazily the first time a
+// track appears. Flush closes the top-level JSON array; the file is not
+// valid JSON until flushed.
+type ChromeTrace struct {
+	w       *bufio.Writer
+	err     error
+	wrote   bool
+	flushed bool
+	named   map[[2]int]bool
+}
+
+// Chrome-trace process ids (tracks group under these).
+const (
+	ctPidDRAM    = 0
+	ctPidDefense = 1
+	ctPidSystem  = 2
+)
+
+// NewChromeTrace returns a sink writing a Chrome trace-event file to w.
+func NewChromeTrace(w io.Writer) *ChromeTrace {
+	c := &ChromeTrace{
+		w:     bufio.NewWriterSize(w, 1<<16),
+		named: make(map[[2]int]bool),
+	}
+	c.w.WriteString(`{"traceEvents":[`)
+	c.metaEvent(ctPidDRAM, -1, "process_name", "dram")
+	c.metaEvent(ctPidDefense, -1, "process_name", "defense")
+	c.metaEvent(ctPidSystem, -1, "process_name", "system")
+	return c
+}
+
+// Record implements Sink.
+func (c *ChromeTrace) Record(ev Event) {
+	if c.err != nil {
+		return
+	}
+	pid, tid, track := c.route(ev)
+	c.ensureTrack(pid, tid, track)
+	c.sep()
+	b := c.w
+	b.WriteString(`{"name":"`)
+	b.WriteString(ev.Kind.String())
+	b.WriteString(`","ph":"i","s":"t","pid":`)
+	writeInt(b, pid)
+	b.WriteString(`,"tid":`)
+	writeInt(b, tid)
+	b.WriteString(`,"ts":`)
+	writeUint(b, ev.Cycle)
+	b.WriteString(`,"args":{`)
+	first := true
+	field := func(name string, v int64) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteByte('"')
+		b.WriteString(name)
+		b.WriteString(`":`)
+		var scratch [20]byte
+		b.Write(strconv.AppendInt(scratch[:0], v, 10))
+	}
+	if ev.Bank >= 0 {
+		field("bank", int64(ev.Bank))
+	}
+	if ev.Row >= 0 {
+		field("row", int64(ev.Row))
+	}
+	if ev.Domain >= 0 {
+		field("domain", int64(ev.Domain))
+	}
+	if ev.Line != 0 {
+		field("line", int64(ev.Line))
+	}
+	if ev.Arg != 0 {
+		field("arg", int64(ev.Arg))
+	}
+	b.WriteString("}}")
+}
+
+// route maps an event to its (pid, tid, track-name) triple.
+func (c *ChromeTrace) route(ev Event) (pid, tid int, track string) {
+	switch ev.Kind {
+	case KindACT, KindPRE, KindTargetedRefresh, KindRefNeighbors,
+		KindRowHit, KindRowEmpty, KindRowConflict, KindREF:
+		if ev.Bank < 0 {
+			return ctPidDRAM, 0, "rank"
+		}
+		return ctPidDRAM, ev.Bank + 1, "bank " + strconv.Itoa(ev.Bank)
+	case KindTRRCure:
+		return ctPidDefense, 1, "trr"
+	case KindGrapheneTrigger:
+		return ctPidDefense, 2, "graphene"
+	case KindThrottle:
+		return ctPidDefense, 3, "blockhammer"
+	case KindACTInterrupt:
+		return ctPidDefense, 4, "act-interrupt"
+	case KindDefenseTrigger:
+		return ctPidDefense, 5, "defense"
+	case KindPageMigration:
+		return ctPidSystem, 1, "os"
+	case KindLineLock, KindLineUnlock:
+		return ctPidSystem, 2, "cache"
+	case KindBitFlip:
+		return ctPidSystem, 3, "flips"
+	default:
+		return ctPidSystem, 0, "misc"
+	}
+}
+
+func (c *ChromeTrace) ensureTrack(pid, tid int, name string) {
+	key := [2]int{pid, tid}
+	if c.named[key] {
+		return
+	}
+	c.named[key] = true
+	c.metaEvent(pid, tid, "thread_name", name)
+}
+
+func (c *ChromeTrace) metaEvent(pid, tid int, metaName, value string) {
+	c.sep()
+	b := c.w
+	b.WriteString(`{"name":"`)
+	b.WriteString(metaName)
+	b.WriteString(`","ph":"M","pid":`)
+	writeInt(b, pid)
+	if tid >= 0 {
+		b.WriteString(`,"tid":`)
+		writeInt(b, tid)
+	}
+	b.WriteString(`,"args":{"name":"`)
+	b.WriteString(value)
+	b.WriteString(`"}}`)
+}
+
+func (c *ChromeTrace) sep() {
+	if c.wrote {
+		c.w.WriteByte(',')
+	}
+	c.wrote = true
+}
+
+// Flush implements Sink: closes the JSON array and flushes the buffer.
+// Further flushes are no-ops; the file is not valid JSON until flushed.
+func (c *ChromeTrace) Flush() error {
+	if c.err != nil || c.flushed {
+		return c.err
+	}
+	c.flushed = true
+	c.w.WriteString("]}\n")
+	c.err = c.w.Flush()
+	return c.err
+}
+
+// SyncSink serializes access to an inner sink with a mutex. Wrap shared
+// sinks with it when one recorder serves multiple parallel harness cells.
+type SyncSink struct {
+	mu    sync.Mutex
+	inner Sink
+}
+
+// NewSyncSink wraps inner in a mutex.
+func NewSyncSink(inner Sink) *SyncSink { return &SyncSink{inner: inner} }
+
+// Record implements Sink.
+func (s *SyncSink) Record(ev Event) {
+	s.mu.Lock()
+	s.inner.Record(ev)
+	s.mu.Unlock()
+}
+
+// Flush implements Sink.
+func (s *SyncSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Flush()
+}

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/report -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenTable exercises every rendering feature in one table: title,
+// alignment on the widest cell, AddRowf formatting (%v ints, %.3g
+// floats), short-row padding, and CSV quoting of commas and quotes.
+func goldenTable() *Table {
+	tb := NewTable("golden demo: flips per defense", "defense", "attack", "flips", "rate")
+	tb.AddRowf("none", "double-sided", 4182, 0.931)
+	tb.AddRowf("para", "many-sided(12)", 0, 0.0)
+	tb.AddRowf("blockhammer", `say "throttled"`, 17, 0.00123456)
+	tb.AddRow("graphene", "half,double")
+	return tb
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/report -run Golden -update` to generate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenTableText(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenTable().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table.txt", b.Bytes())
+}
+
+func TestGoldenTableCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenTable().RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table.csv", b.Bytes())
+}

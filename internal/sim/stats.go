@@ -6,7 +6,8 @@ import (
 	"strings"
 )
 
-// Stats is an ordered registry of named integer counters and float gauges.
+// Stats is an ordered registry of named integer counters, float gauges,
+// indexed vector counters (e.g. per-bank), and fixed-bucket histograms.
 // Components of the simulator record events into a shared Stats so that
 // experiments can report them uniformly.
 //
@@ -15,6 +16,8 @@ import (
 type Stats struct {
 	counters map[string]int64
 	gauges   map[string]float64
+	vectors  map[string][]int64
+	hists    map[string]*Histogram
 }
 
 // Add increments the named counter by delta, creating it if needed.
@@ -42,34 +45,166 @@ func (s *Stats) SetGauge(name string, v float64) {
 // Gauge returns the value of the named gauge (zero if never written).
 func (s *Stats) Gauge(name string) float64 { return s.gauges[name] }
 
-// CounterNames returns all counter names in sorted order.
-func (s *Stats) CounterNames() []string {
-	names := make([]string, 0, len(s.counters))
-	for n := range s.counters {
-		names = append(names, n)
+// AddVec increments element idx of the named vector counter, growing the
+// vector as needed. Vectors are labeled counters indexed by a small dense
+// dimension (bank number, domain id).
+func (s *Stats) AddVec(name string, idx int, delta int64) {
+	if idx < 0 {
+		return
 	}
-	sort.Strings(names)
-	return names
+	v := s.EnsureVec(name, idx+1)
+	v[idx] += delta
 }
+
+// EnsureVec returns the named vector, grown to at least n elements. Hot
+// paths that know their dimension up front (e.g. per-bank counters sized
+// to the geometry) call this once and index the returned slice directly,
+// skipping the map lookup per event.
+func (s *Stats) EnsureVec(name string, n int) []int64 {
+	if s.vectors == nil {
+		s.vectors = make(map[string][]int64)
+	}
+	v := s.vectors[name]
+	if len(v) < n {
+		grown := make([]int64, n)
+		copy(grown, v)
+		v = grown
+		s.vectors[name] = v
+	}
+	return v
+}
+
+// Vec returns the named vector counter (nil if never written). The
+// returned slice is live; callers must not modify it.
+func (s *Stats) Vec(name string) []int64 { return s.vectors[name] }
+
+// VecNames returns all vector names in sorted order.
+func (s *Stats) VecNames() []string { return sortedKeys(s.vectors) }
+
+// Histogram is a fixed-bucket distribution: Bounds are the inclusive
+// upper edges of the first len(Bounds) buckets, and one final overflow
+// bucket catches everything larger, so len(counts) == len(Bounds)+1.
+// Observing is allocation-free; components hold the *Histogram returned
+// by Stats.NewHistogram to skip the map lookup on hot paths.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	count  uint64
+	sum    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx]++
+	h.count++
+	h.sum += v
+}
+
+// Count returns how many samples were observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Bounds returns the bucket upper edges (callers must not modify).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Counts returns the per-bucket sample counts, the last entry being the
+// overflow bucket (callers must not modify).
+func (h *Histogram) Counts() []uint64 { return h.counts }
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start and multiplying by factor — the usual shape for cycle-valued
+// distributions (inter-ACT spacing, service latency).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// NewHistogram registers (or fetches) the named histogram. If the name is
+// new, it is created with the given bucket bounds (which must be sorted
+// ascending); if it already exists, the existing histogram is returned
+// unchanged and bounds are ignored.
+func (s *Stats) NewHistogram(name string, bounds []float64) *Histogram {
+	if s.hists == nil {
+		s.hists = make(map[string]*Histogram)
+	}
+	if h, ok := s.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	s.hists[name] = h
+	return h
+}
+
+// Observe records a sample into the named histogram, creating it with
+// default exponential buckets (1, 2, 4, … 2^19) if needed. Hot paths
+// should prefer holding the *Histogram from NewHistogram.
+func (s *Stats) Observe(name string, v float64) {
+	h := s.hists[name]
+	if h == nil {
+		h = s.NewHistogram(name, ExpBuckets(1, 2, 20))
+	}
+	h.Observe(v)
+}
+
+// Hist returns the named histogram (nil if never created).
+func (s *Stats) Hist(name string) *Histogram { return s.hists[name] }
+
+// HistNames returns all histogram names in sorted order.
+func (s *Stats) HistNames() []string { return sortedKeys(s.hists) }
+
+// CounterNames returns all counter names in sorted order.
+func (s *Stats) CounterNames() []string { return sortedKeys(s.counters) }
 
 // GaugeNames returns all gauge names in sorted order.
-func (s *Stats) GaugeNames() []string {
-	names := make([]string, 0, len(s.gauges))
-	for n := range s.gauges {
+func (s *Stats) GaugeNames() []string { return sortedKeys(s.gauges) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
 }
 
-// Reset clears all counters and gauges.
+// Reset clears all counters, gauges, vectors and histograms. Histogram
+// pointers handed out earlier are orphaned, not zeroed.
 func (s *Stats) Reset() {
 	s.counters = nil
 	s.gauges = nil
+	s.vectors = nil
+	s.hists = nil
 }
 
-// Merge adds every counter from other into s and copies other's gauges
-// (overwriting same-named gauges in s).
+// Merge folds other into s:
+//
+//   - counters and vectors are summed (vectors element-wise, growing s's
+//     vector to the longer length);
+//   - histograms with identical bounds are summed bucket-wise; on a
+//     bounds mismatch, other's histogram replaces s's (as a copy) — the
+//     caller re-registered the metric with a new shape and the old
+//     samples are not comparable;
+//   - gauges are OVERWRITTEN by other's value, not combined. Gauges are
+//     point-in-time readings (a rate, a ratio, a final level), for which
+//     addition is meaningless; last writer wins, so merge order matters.
+//     Callers needing combinable values must use counters or histograms.
 func (s *Stats) Merge(other *Stats) {
 	for n, v := range other.counters {
 		s.Add(n, v)
@@ -77,10 +212,117 @@ func (s *Stats) Merge(other *Stats) {
 	for n, v := range other.gauges {
 		s.SetGauge(n, v)
 	}
+	for n, v := range other.vectors {
+		dst := s.EnsureVec(n, len(v))
+		for i, x := range v {
+			dst[i] += x
+		}
+	}
+	for n, oh := range other.hists {
+		sh := s.Hist(n)
+		if sh != nil && boundsEqual(sh.bounds, oh.bounds) {
+			for i, c := range oh.counts {
+				sh.counts[i] += c
+			}
+			sh.count += oh.count
+			sh.sum += oh.sum
+			continue
+		}
+		if s.hists == nil {
+			s.hists = make(map[string]*Histogram)
+		}
+		s.hists[n] = &Histogram{
+			bounds: append([]float64(nil), oh.bounds...),
+			counts: append([]uint64(nil), oh.counts...),
+			count:  oh.count,
+			sum:    oh.sum,
+		}
+	}
 }
 
-// String renders the stats as "name=value" lines in sorted order, counters
-// first. It is intended for debugging and test failure messages.
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CounterValue is one counter in a Snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a Snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// VectorValue is one vector counter in a Snapshot.
+type VectorValue struct {
+	Name   string  `json:"name"`
+	Values []int64 `json:"values"`
+}
+
+// HistogramValue is one histogram in a Snapshot. Counts has one more
+// entry than Bounds (the overflow bucket).
+type HistogramValue struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// StatsSnapshot is a stable, sorted, deep-copied view of a Stats — safe
+// to serialize, hand across goroutines, or diff, long after the source
+// Stats has moved on.
+type StatsSnapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Vectors    []VectorValue    `json:"vectors,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot returns a sorted, deep-copied view of every metric. Report
+// call sites iterate the slices directly instead of re-sorting map keys.
+func (s *Stats) Snapshot() StatsSnapshot {
+	var snap StatsSnapshot
+	snap.Counters = make([]CounterValue, 0, len(s.counters))
+	for _, n := range s.CounterNames() {
+		snap.Counters = append(snap.Counters, CounterValue{Name: n, Value: s.counters[n]})
+	}
+	for _, n := range s.GaugeNames() {
+		snap.Gauges = append(snap.Gauges, GaugeValue{Name: n, Value: s.gauges[n]})
+	}
+	for _, n := range s.VecNames() {
+		snap.Vectors = append(snap.Vectors, VectorValue{
+			Name:   n,
+			Values: append([]int64(nil), s.vectors[n]...),
+		})
+	}
+	for _, n := range s.HistNames() {
+		h := s.hists[n]
+		snap.Histograms = append(snap.Histograms, HistogramValue{
+			Name:   n,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Count:  h.count,
+			Sum:    h.sum,
+		})
+	}
+	return snap
+}
+
+// String renders the stats as "name=value" lines in sorted order:
+// counters, then gauges (the historical format), then vectors and
+// histogram summaries. It is intended for debugging and test failures.
 func (s *Stats) String() string {
 	var b strings.Builder
 	for _, n := range s.CounterNames() {
@@ -88,6 +330,13 @@ func (s *Stats) String() string {
 	}
 	for _, n := range s.GaugeNames() {
 		fmt.Fprintf(&b, "%s=%g\n", n, s.gauges[n])
+	}
+	for _, n := range s.VecNames() {
+		fmt.Fprintf(&b, "%s=%v\n", n, s.vectors[n])
+	}
+	for _, n := range s.HistNames() {
+		h := s.hists[n]
+		fmt.Fprintf(&b, "%s=count:%d sum:%g\n", n, h.count, h.sum)
 	}
 	return b.String()
 }

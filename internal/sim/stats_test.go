@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestStatsVectors(t *testing.T) {
+	var s Stats
+	s.AddVec("dram.act.bank", 3, 5)
+	s.AddVec("dram.act.bank", 0, 1)
+	s.AddVec("dram.act.bank", 3, 2)
+	v := s.Vec("dram.act.bank")
+	if len(v) != 4 || v[0] != 1 || v[3] != 7 {
+		t.Fatalf("vec = %v", v)
+	}
+	if s.Vec("missing") != nil {
+		t.Fatal("missing vector should be nil")
+	}
+	s.AddVec("dram.act.bank", -1, 9) // negative index ignored
+	if got := s.Vec("dram.act.bank"); len(got) != 4 {
+		t.Fatalf("negative index grew vector: %v", got)
+	}
+}
+
+func TestStatsEnsureVecHotPath(t *testing.T) {
+	var s Stats
+	v := s.EnsureVec("per-bank", 8)
+	if len(v) != 8 {
+		t.Fatalf("len %d", len(v))
+	}
+	v[5]++ // direct indexing, as hot paths do
+	if s.Vec("per-bank")[5] != 1 {
+		t.Fatal("EnsureVec must return the live slice")
+	}
+	allocs := testing.AllocsPerRun(1000, func() { v[5]++ })
+	if allocs != 0 {
+		t.Fatalf("direct vector increment allocates %.1f", allocs)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var s Stats
+	h := s.NewHistogram("spacing", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 10, 11, 500, 5000} {
+		h.Observe(v)
+	}
+	counts := h.Counts()
+	// ≤10 → bucket 0 (5, 10); ≤100 → bucket 1 (11); ≤1000 → bucket 2
+	// (500); overflow (5000).
+	want := []uint64{2, 1, 1, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 5526 {
+		t.Fatalf("count=%d sum=%g", h.Count(), h.Sum())
+	}
+	if again := s.NewHistogram("spacing", []float64{1}); again != h {
+		t.Fatal("re-registering must return the existing histogram")
+	}
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(50) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f", allocs)
+	}
+}
+
+func TestStatsObserveDefaultBuckets(t *testing.T) {
+	var s Stats
+	s.Observe("x", 3)
+	s.Observe("x", 1<<30) // far past the last default bucket
+	h := s.Hist("x")
+	if h == nil || h.Count() != 2 {
+		t.Fatal("default-bucket histogram not created")
+	}
+	if h.Counts()[len(h.Counts())-1] != 1 {
+		t.Fatal("large sample should land in the overflow bucket")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v", b)
+		}
+	}
+}
+
+// TestStatsMergeGaugeOverwrite pins Merge's documented gauge semantics:
+// gauges are point-in-time readings, so the merged-in value REPLACES the
+// receiver's — it is not summed or averaged.
+func TestStatsMergeGaugeOverwrite(t *testing.T) {
+	var a, b Stats
+	a.SetGauge("rate", 1.5)
+	b.SetGauge("rate", 9.0)
+	b.SetGauge("only-b", 2.0)
+	a.Merge(&b)
+	if g := a.Gauge("rate"); g != 9.0 {
+		t.Fatalf("gauge after merge = %g, want other's value 9.0 (overwrite, not sum)", g)
+	}
+	if g := a.Gauge("only-b"); g != 2.0 {
+		t.Fatalf("only-b = %g", g)
+	}
+	// Merge order matters for gauges: merging a zero-gauge Stats back
+	// does not resurrect a's original value.
+	var c Stats
+	c.SetGauge("rate", 0)
+	a.Merge(&c)
+	if g := a.Gauge("rate"); g != 0 {
+		t.Fatalf("last writer must win, got %g", g)
+	}
+}
+
+func TestStatsMergeVectorsAndHists(t *testing.T) {
+	var a, b Stats
+	a.AddVec("v", 0, 1)
+	b.AddVec("v", 2, 5)
+	ah := a.NewHistogram("h", []float64{10, 20})
+	bh := b.NewHistogram("h", []float64{10, 20})
+	ah.Observe(5)
+	bh.Observe(15)
+	bh.Observe(100)
+	a.Merge(&b)
+	if v := a.Vec("v"); len(v) != 3 || v[0] != 1 || v[2] != 5 {
+		t.Fatalf("merged vec = %v", v)
+	}
+	h := a.Hist("h")
+	if h.Count() != 3 || h.Counts()[0] != 1 || h.Counts()[1] != 1 || h.Counts()[2] != 1 {
+		t.Fatalf("merged hist counts = %v", h.Counts())
+	}
+	// Mismatched bounds: other's histogram replaces, as a copy.
+	var c Stats
+	ch := c.NewHistogram("h", []float64{1})
+	ch.Observe(0.5)
+	a.Merge(&c)
+	h = a.Hist("h")
+	if len(h.Bounds()) != 1 || h.Count() != 1 {
+		t.Fatalf("bounds mismatch should replace: %v count=%d", h.Bounds(), h.Count())
+	}
+	ch.Observe(0.25)
+	if h.Count() != 1 {
+		t.Fatal("replacement must be a copy, not share storage")
+	}
+}
+
+func TestStatsSnapshotSortedAndDeep(t *testing.T) {
+	var s Stats
+	s.Add("z", 1)
+	s.Add("a", 2)
+	s.SetGauge("g", 0.5)
+	s.AddVec("vec", 1, 3)
+	s.NewHistogram("h", []float64{1, 2}).Observe(1.5)
+	snap := s.Snapshot()
+	if len(snap.Counters) != 2 || snap.Counters[0].Name != "a" || snap.Counters[1].Name != "z" {
+		t.Fatalf("counters not sorted: %v", snap.Counters)
+	}
+	if len(snap.Gauges) != 1 || len(snap.Vectors) != 1 || len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot incomplete: %+v", snap)
+	}
+	// Deep copy: mutating the source must not change the snapshot.
+	s.Add("a", 10)
+	s.AddVec("vec", 1, 10)
+	s.Hist("h").Observe(3)
+	if snap.Counters[0].Value != 2 {
+		t.Fatal("counter snapshot not isolated")
+	}
+	if snap.Vectors[0].Values[1] != 3 {
+		t.Fatal("vector snapshot not isolated")
+	}
+	if snap.Histograms[0].Count != 1 {
+		t.Fatal("histogram snapshot not isolated")
+	}
+	// The snapshot must serialize cleanly (the -metrics-out path).
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StatsSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Count != 1 {
+		t.Fatalf("round-trip lost histograms: %s", raw)
+	}
+}
+
+func TestStatsSnapshotEmpty(t *testing.T) {
+	var s Stats
+	snap := s.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatal("empty stats should snapshot empty")
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsStringIncludesNewSections(t *testing.T) {
+	var s Stats
+	s.Add("c", 1)
+	s.SetGauge("g", 2)
+	s.AddVec("v", 1, 3)
+	s.NewHistogram("h", []float64{1}).Observe(0.5)
+	got := s.String()
+	want := "c=1\ng=2\nv=[0 3]\nh=count:1 sum:0.5\n"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -71,7 +71,12 @@ func Record(p cpu.Program, w *Writer) cpu.Program {
 	})
 }
 
-// Read parses a complete JSON-lines trace.
+// Read parses a complete JSON-lines trace. A stream cut off mid-event —
+// an unparsable final line, or a jump in the seq numbering where lost
+// lines would leave a gap — is reported as a "trace: truncated at event
+// N" error rather than silently yielding the surviving prefix, so
+// replaying a half-copied trace fails loudly instead of comparing
+// defenses on different access streams.
 func Read(r io.Reader) ([]Event, error) {
 	var events []Event
 	sc := bufio.NewScanner(r)
@@ -84,7 +89,16 @@ func Read(r io.Reader) ([]Event, error) {
 		}
 		var ev Event
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			if !sc.Scan() {
+				// The unparsable line is the last one: the stream was cut
+				// off mid-event.
+				return nil, fmt.Errorf("trace: truncated at event %d: %w", len(events), err)
+			}
 			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		if ev.Seq != uint64(len(events)) {
+			return nil, fmt.Errorf("trace: truncated at event %d: line %d has seq %d",
+				len(events), lineNo, ev.Seq)
 		}
 		events = append(events, ev)
 	}

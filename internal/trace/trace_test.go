@@ -82,6 +82,28 @@ func TestReadSkipsBlankLines(t *testing.T) {
 	}
 }
 
+func TestReadTruncatedMidLine(t *testing.T) {
+	// The second event's line was cut off mid-object — a half-copied file.
+	_, err := Read(strings.NewReader("{\"seq\":0,\"line\":5}\n{\"seq\":1,\"li"))
+	if err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if !strings.Contains(err.Error(), "trace: truncated at event 1") {
+		t.Fatalf("err = %v, want truncated-at-event-1", err)
+	}
+}
+
+func TestReadTruncatedSeqGap(t *testing.T) {
+	// Lost middle lines leave a jump in the seq numbering.
+	_, err := Read(strings.NewReader("{\"seq\":0,\"line\":5}\n{\"seq\":3,\"line\":6}\n"))
+	if err == nil {
+		t.Fatal("seq gap accepted")
+	}
+	if !strings.Contains(err.Error(), "trace: truncated at event 1") {
+		t.Fatalf("err = %v, want truncated-at-event-1", err)
+	}
+}
+
 func TestSummarizeHottestFirst(t *testing.T) {
 	m := addr.NewLineInterleave(dram.DefaultGeometry())
 	g := dram.DefaultGeometry()
