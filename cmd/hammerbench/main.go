@@ -8,6 +8,7 @@
 // Usage:
 //
 //	hammerbench [-experiment all|e1|..|e10] [-horizon N] [-csv] [-parallel N]
+//	            [-fail-soft] [-retries N] [-cell-timeout 30s] [-resume grid.ckpt]
 //	            [-metrics-out bench.json] [-trace-events f -trace-format chrome]
 //	            [-pprof-cpu f] [-pprof-http addr]
 //
@@ -24,6 +25,13 @@
 // every cell simulates its own machine from a fixed seed — so -parallel
 // only changes wall-clock time, which is reported per experiment on
 // stderr to keep -csv output on stdout clean.
+//
+// Long grids are fail-soft capable: -fail-soft records per-cell failures
+// (panics included) and finishes the run with ERR(reason) placeholders
+// in the affected cells; -retries and -cell-timeout bound flaky or hung
+// cells. -resume names a checkpoint file to which completed cells are
+// appended as they finish; a killed run restarted with the same flags
+// skips the completed cells and produces byte-identical tables.
 package main
 
 import (
@@ -45,25 +53,38 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel   = flag.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = serial)")
 		obsFlags   cliutil.ObsFlags
+		robust     cliutil.RobustFlags
 	)
 	obsFlags.Register()
+	robust.Register()
 	flag.Parse()
 	harness.SetParallelism(*parallel)
-	if err := run(strings.ToLower(*experiment), *horizon, *csv, obsFlags); err != nil {
+	if err := run(strings.ToLower(*experiment), *horizon, *csv, obsFlags, robust); err != nil {
 		fmt.Fprintln(os.Stderr, "hammerbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, horizon uint64, csv bool, obsFlags cliutil.ObsFlags) error {
+func run(experiment string, horizon uint64, csv bool, obsFlags cliutil.ObsFlags, robust cliutil.RobustFlags) (err error) {
 	// The recorder may serve many parallel cells; sync the sink.
 	session, err := obsFlags.Start(true)
 	if err != nil {
 		return err
 	}
+	// Teardown errors (an unflushed trace, a checkpoint write that failed
+	// mid-run) must reach the exit code, not just stderr.
 	defer func() {
-		if cerr := session.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "hammerbench: close observability:", cerr)
+		if cerr := session.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close observability: %w", cerr)
+		}
+	}()
+	cleanup, err := robust.Apply(session.Recorder)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := cleanup(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}()
 	collector := harness.NewBenchCollector("hammerbench")
@@ -118,6 +139,10 @@ func run(experiment string, horizon uint64, csv bool, obsFlags cliutil.ObsFlags)
 		}
 		fmt.Fprintf(os.Stderr, "%s: %v (%d workers)\n",
 			e.id, time.Since(start).Round(time.Millisecond), harness.Parallelism())
+		if tb.Degraded() {
+			fmt.Fprintf(os.Stderr, "%s: DEGRADED: %d cells failed and render as ERR(...) (fail-soft)\n",
+				e.id, tb.DegradedCells())
+		}
 		if csv {
 			if err := tb.RenderCSV(os.Stdout); err != nil {
 				return err

@@ -7,6 +7,7 @@
 //
 //	hammersim [-defense none] [-attack double] [-profile ddr4-old]
 //	          [-horizon 4000000] [-tenants 3] [-pages 170] [-stats]
+//	          [-fail-soft] [-retries N] [-cell-timeout 30s]
 //	          [-trace-events f -trace-format jsonl|chrome]
 //	          [-metrics-out f.json] [-pprof-cpu f] [-pprof-http addr]
 //
@@ -19,6 +20,12 @@
 // -metrics-out dumps every counter, gauge, per-bank vector and histogram
 // as JSON. Recording is observer-only: results are byte-identical with
 // or without it.
+//
+// The scenario runs under the harness robustness policy: -retries and
+// -cell-timeout bound a flaky or hung simulation, and with -fail-soft a
+// crash degrades into a reported ERR(reason) line and exit code 0
+// instead of aborting — useful when hammersim runs as one step of a
+// larger scripted sweep.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"hammertime/internal/defense"
 	"hammertime/internal/dram"
 	"hammertime/internal/harness"
+	"hammertime/internal/report"
 	"hammertime/internal/trace"
 )
 
@@ -52,14 +60,16 @@ func main() {
 		traceIn     = flag.String("trace-in", "", "replay a recorded stream as the attack instead of planning one")
 		list        = flag.Bool("list", false, "list available defenses and exit")
 		obsFlags    cliutil.ObsFlags
+		robust      cliutil.RobustFlags
 	)
 	obsFlags.Register()
+	robust.Register()
 	flag.Parse()
 	if *list {
 		fmt.Println("defenses:", strings.Join(defense.Names(), " "))
 		return
 	}
-	if err := run(*defenseName, *attackName, *profileName, *horizon, *tenants, *pages, *seed, *integrity, *stats, *traceOut, *traceIn, obsFlags); err != nil {
+	if err := run(*defenseName, *attackName, *profileName, *horizon, *tenants, *pages, *seed, *integrity, *stats, *traceOut, *traceIn, obsFlags, robust); err != nil {
 		fmt.Fprintln(os.Stderr, "hammersim:", err)
 		os.Exit(1)
 	}
@@ -101,7 +111,7 @@ func attackByName(name string) (attack.Kind, error) {
 	}
 }
 
-func run(defenseName, attackName, profileName string, horizon uint64, tenants, pages int, seed uint64, integrity, stats bool, traceOut, traceIn string, obsFlags cliutil.ObsFlags) error {
+func run(defenseName, attackName, profileName string, horizon uint64, tenants, pages int, seed uint64, integrity, stats bool, traceOut, traceIn string, obsFlags cliutil.ObsFlags, robust cliutil.RobustFlags) (err error) {
 	d, err := defense.New(defenseName)
 	if err != nil {
 		return err
@@ -122,9 +132,20 @@ func run(defenseName, attackName, profileName string, horizon uint64, tenants, p
 	if err != nil {
 		return err
 	}
+	// Teardown errors (an unflushed trace sink, a failed profile close)
+	// must reach the exit code, not just stderr.
 	defer func() {
-		if cerr := session.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "hammersim: close observability:", cerr)
+		if cerr := session.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close observability: %w", cerr)
+		}
+	}()
+	cleanup, err := robust.Apply(session.Recorder)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := cleanup(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}()
 
@@ -141,8 +162,8 @@ func run(defenseName, attackName, profileName string, horizon uint64, tenants, p
 			return err
 		}
 		defer func() {
-			if cerr := f.Close(); cerr != nil {
-				fmt.Fprintln(os.Stderr, "hammersim: close trace:", cerr)
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("close trace: %w", cerr)
 			}
 		}()
 		opts.AttackTrace = f
@@ -162,9 +183,20 @@ func run(defenseName, attackName, profileName string, horizon uint64, tenants, p
 		opts.ReplayAttack = events
 	}
 
-	out, err := harness.RunAttack(spec, d, kind, opts)
-	if err != nil {
-		return err
+	// The scenario runs under the robustness policy: panics are contained,
+	// -retries/-cell-timeout apply, and with -fail-soft a failure degrades
+	// into a reported ERR line instead of a non-zero exit.
+	out, ce := harness.Guarded("sim", func() (harness.AttackOutcome, error) {
+		return harness.RunAttack(spec, d, kind, opts)
+	})
+	if ce != nil {
+		if !robust.FailSoft {
+			return ce
+		}
+		fmt.Printf("machine:   %s, defense %s (%s class)\n", prof.Name, defenseName, d.Class())
+		fmt.Printf("result:    %s\n", report.ErrCell(ce.Reason()))
+		fmt.Println("verdict:   DEGRADED (fail-soft: scenario did not complete)")
+		return nil
 	}
 
 	fmt.Printf("machine:   %s, %d banks x %d subarrays, defense %s (%s class)\n",

@@ -71,26 +71,26 @@ func TestProfileByName(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	silence(t)
-	if err := run("none", "double", "lpddr4", 1_000_000, 3, 48, 1, false, true, "", "", cliutil.ObsFlags{}); err != nil {
+	if err := run("none", "double", "lpddr4", 1_000_000, 3, 48, 1, false, true, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("subarray", "dma", "lpddr4", 1_000_000, 3, 48, 1, false, false, "", "", cliutil.ObsFlags{}); err != nil {
+	if err := run("subarray", "dma", "lpddr4", 1_000_000, 3, 48, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("none", "double", "lpddr4", 500_000, 2, 16, 1, true, false, "", "", cliutil.ObsFlags{}); err != nil {
+	if err := run("none", "double", "lpddr4", 500_000, 2, 16, 1, true, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadArgs(t *testing.T) {
 	silence(t)
-	if err := run("bogus", "double", "lpddr4", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}); err == nil {
+	if err := run("bogus", "double", "lpddr4", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err == nil {
 		t.Fatal("unknown defense accepted")
 	}
-	if err := run("none", "bogus", "lpddr4", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}); err == nil {
+	if err := run("none", "bogus", "lpddr4", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err == nil {
 		t.Fatal("unknown attack accepted")
 	}
-	if err := run("none", "double", "bogus", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}); err == nil {
+	if err := run("none", "double", "bogus", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err == nil {
 		t.Fatal("unknown profile accepted")
 	}
 }
@@ -99,14 +99,14 @@ func TestRunTraceRecordReplay(t *testing.T) {
 	silence(t)
 	dir := t.TempDir()
 	out := dir + "/attack.jsonl"
-	if err := run("none", "double", "lpddr4", 500_000, 2, 16, 1, false, false, out, "", cliutil.ObsFlags{}); err != nil {
+	if err := run("none", "double", "lpddr4", 500_000, 2, 16, 1, false, false, out, "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
 		t.Fatalf("trace not written: %v", err)
 	}
 	// Replay the recorded attack against a different defense.
-	if err := run("swrefresh", "double", "lpddr4", 500_000, 2, 16, 1, false, false, "", out, cliutil.ObsFlags{}); err != nil {
+	if err := run("swrefresh", "double", "lpddr4", 500_000, 2, 16, 1, false, false, "", out, cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -117,7 +117,7 @@ func TestRunObservabilityFlags(t *testing.T) {
 	traceFile := dir + "/events.json"
 	metricsFile := dir + "/metrics.json"
 	flags := cliutil.ObsFlags{TraceEvents: traceFile, TraceFormat: "chrome", MetricsOut: metricsFile}
-	if err := run("swrefresh", "double", "lpddr4", 2_000_000, 2, 32, 1, false, false, "", "", flags); err != nil {
+	if err := run("swrefresh", "double", "lpddr4", 2_000_000, 2, 32, 1, false, false, "", "", flags, cliutil.RobustFlags{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -183,7 +183,28 @@ func TestRunObservabilityFlags(t *testing.T) {
 func TestRunRejectsBadTraceFormat(t *testing.T) {
 	silence(t)
 	flags := cliutil.ObsFlags{TraceEvents: t.TempDir() + "/x", TraceFormat: "bogus"}
-	if err := run("none", "double", "lpddr4", 1000, 2, 16, 1, false, false, "", "", flags); err == nil {
+	if err := run("none", "double", "lpddr4", 1000, 2, 16, 1, false, false, "", "", flags, cliutil.RobustFlags{}); err == nil {
 		t.Fatal("unknown trace format accepted")
+	}
+}
+
+func TestRunFailSoftDegradesInsteadOfAborting(t *testing.T) {
+	silence(t)
+	t.Setenv("HAMMERTIME_FAIL_CELL", "sim:0:panic")
+	// Strict: the contained panic still fails the run.
+	if err := run("none", "double", "lpddr4", 200_000, 2, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err == nil {
+		t.Fatal("injected panic did not fail the strict run")
+	}
+	// Fail-soft: the scenario degrades to an ERR line and exit code 0.
+	if err := run("none", "double", "lpddr4", 200_000, 2, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{FailSoft: true}); err != nil {
+		t.Fatalf("fail-soft run returned %v", err)
+	}
+}
+
+func TestRunRetriesRecoverTransientFailure(t *testing.T) {
+	silence(t)
+	t.Setenv("HAMMERTIME_FAIL_CELL", "sim:0:once")
+	if err := run("none", "double", "lpddr4", 200_000, 2, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{Retries: 1}); err != nil {
+		t.Fatalf("one retry did not recover the transient failure: %v", err)
 	}
 }

@@ -1,7 +1,8 @@
-// Package cliutil holds the observability surface shared by the CLI
-// tools: event-trace flags (-trace-events/-trace-format), machine-
-// readable metrics output (-metrics-out), and opt-in pprof profiling
-// (-pprof-cpu/-pprof-http).
+// Package cliutil holds the observability and robustness surface shared
+// by the CLI tools: event-trace flags (-trace-events/-trace-format),
+// machine-readable metrics output (-metrics-out), opt-in pprof profiling
+// (-pprof-cpu/-pprof-http), and the fail-soft/resume flags
+// (-fail-soft/-retries/-cell-timeout/-resume).
 package cliutil
 
 import (
@@ -12,7 +13,9 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof handlers on -pprof-http
 	"os"
 	"runtime/pprof"
+	"time"
 
+	"hammertime/internal/harness"
 	"hammertime/internal/obs"
 )
 
@@ -32,6 +35,68 @@ func (f *ObsFlags) Register() {
 	flag.StringVar(&f.MetricsOut, "metrics-out", "", "write machine-readable metrics JSON to this file")
 	flag.StringVar(&f.PprofCPU, "pprof-cpu", "", "write a CPU profile of the run to this file")
 	flag.StringVar(&f.PprofHTTP, "pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// RobustFlags collects the fail-soft/resume command-line options.
+type RobustFlags struct {
+	FailSoft    bool
+	Retries     int
+	CellTimeout time.Duration
+	Resume      string
+}
+
+// Register installs the flags on the default flag set.
+func (f *RobustFlags) Register() {
+	flag.BoolVar(&f.FailSoft, "fail-soft", false, "record per-cell failures and finish the run; failed cells render as ERR(reason)")
+	flag.IntVar(&f.Retries, "retries", 0, "re-run a failed experiment cell up to this many extra times")
+	flag.DurationVar(&f.CellTimeout, "cell-timeout", 0, "per-cell wall-clock deadline, e.g. 30s (0 = none)")
+	flag.StringVar(&f.Resume, "resume", "", "checkpoint file: completed cells are appended there and restored on rerun")
+}
+
+// Apply installs the flags' policy, cell-event observer, and checkpoint
+// in the harness. The returned cleanup restores the package-wide state
+// and closes the checkpoint; its error (e.g. a checkpoint write that
+// failed mid-run) must reach the CLI exit code — a silently truncated
+// checkpoint would resume wrong.
+func (f *RobustFlags) Apply(rec *obs.Recorder) (cleanup func() error, err error) {
+	if f.Retries < 0 {
+		return nil, fmt.Errorf("retries: must be >= 0 (got %d)", f.Retries)
+	}
+	if f.CellTimeout < 0 {
+		return nil, fmt.Errorf("cell-timeout: must be >= 0 (got %v)", f.CellTimeout)
+	}
+	harness.SetPolicy(harness.Policy{
+		FailSoft:    f.FailSoft,
+		Retries:     f.Retries,
+		CellTimeout: f.CellTimeout,
+	})
+	harness.SetGridObserver(rec)
+	var ck *harness.Checkpoint
+	restore := func() error {
+		harness.SetPolicy(harness.Policy{})
+		harness.SetGridObserver(nil)
+		harness.SetCheckpoint(nil)
+		if ck != nil {
+			closeErr := ck.Close()
+			ck = nil
+			if closeErr != nil {
+				return fmt.Errorf("resume: %w", closeErr)
+			}
+		}
+		return nil
+	}
+	if f.Resume != "" {
+		ck, err = harness.OpenCheckpoint(f.Resume)
+		if err != nil {
+			restore()
+			return nil, fmt.Errorf("resume: %w", err)
+		}
+		harness.SetCheckpoint(ck)
+		if n := ck.Loaded(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resume: restored %d completed cells from %s\n", n, f.Resume)
+		}
+	}
+	return restore, nil
 }
 
 // Session is the started observability state. Close flushes and releases

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"hammertime/internal/core"
+	"hammertime/internal/sim"
+)
+
+// Checkpoint persists completed grid cells as JSON lines so an
+// interrupted run resumes instead of recomputing. One record per cell:
+//
+//	{"key":"9f86d081deadbeef","grid":"e1","cell":17,"result":<json>}
+//
+// key is an FNV-64a hash of (grid ID, grid config, DeterminismEpoch,
+// machine seed, cell index): a run with a different horizon, sweep, seed
+// or RNG epoch never restores a stale cell. Records are appended and
+// flushed as cells complete, so a SIGKILL loses at most the in-flight
+// cells; the loader tolerates (and trims) a torn final line. Results are
+// exact JSON round trips of the cell values, so a resumed run's tables
+// are byte-identical to an uninterrupted run's.
+type Checkpoint struct {
+	mu     sync.Mutex
+	f      *os.File
+	done   map[string]json.RawMessage
+	err    error // sticky: first write/flush failure
+	loaded int
+	added  int
+}
+
+// ckRecord is the wire form of one checkpointed cell. Grid and Cell are
+// informational (debugging a checkpoint by eye); lookups go by Key.
+type ckRecord struct {
+	Key    string          `json:"key"`
+	Grid   string          `json:"grid"`
+	Cell   int             `json:"cell"`
+	Result json.RawMessage `json:"result"`
+}
+
+// OpenCheckpoint opens (creating if needed) a checkpoint file, loads its
+// valid records, and positions it for appending. A torn or corrupt tail
+// — the signature of a killed run — is truncated away so subsequent
+// appends produce a clean file.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	ck := &Checkpoint{f: f, done: make(map[string]json.RawMessage)}
+	r := bufio.NewReader(f)
+	var offset int64
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			// EOF with a leftover fragment means a write died mid-line
+			// (a record's line and '\n' are written in one call): the
+			// fragment is debris of the interrupted run, trimmed below.
+			break
+		}
+		var rec ckRecord
+		if json.Unmarshal([]byte(line), &rec) != nil || rec.Key == "" {
+			// First corrupt line: stop loading and truncate it away so
+			// appends produce a clean file.
+			break
+		}
+		offset += int64(len(line))
+		ck.done[rec.Key] = rec.Result
+		ck.loaded++
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: trim torn tail: %w", err)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return ck, nil
+}
+
+// Loaded returns how many completed cells the file held at open.
+func (c *Checkpoint) Loaded() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loaded
+}
+
+// Added returns how many cells this run appended.
+func (c *Checkpoint) Added() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.added
+}
+
+// Err returns the first write error encountered while recording cells.
+// A checkpoint that cannot be written must fail the run loudly — a
+// silently truncated checkpoint would resume wrong.
+func (c *Checkpoint) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close closes the file, reporting the sticky write error first.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first := c.err
+	if c.f != nil {
+		if err := c.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.f = nil
+	}
+	return first
+}
+
+// lookup returns the recorded result for key, if any.
+func (c *Checkpoint) lookup(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, ok := c.done[key]
+	return raw, ok
+}
+
+// record appends one completed cell. Write errors are sticky and
+// surfaced by Err/Close; the in-memory map is updated regardless so the
+// current run stays consistent.
+func (c *Checkpoint) record(grid string, cell int, key string, result any) {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		c.fail(fmt.Errorf("checkpoint: %s cell %d: %w", grid, cell, err))
+		return
+	}
+	line, err := json.Marshal(ckRecord{Key: key, Grid: grid, Cell: cell, Result: raw})
+	if err != nil {
+		c.fail(fmt.Errorf("checkpoint: %s cell %d: %w", grid, cell, err))
+		return
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done[key] = raw
+	c.added++
+	if c.f == nil || c.err != nil {
+		return
+	}
+	if _, err := c.f.Write(line); err != nil {
+		c.err = fmt.Errorf("checkpoint: %s cell %d: %w", grid, cell, err)
+	}
+}
+
+func (c *Checkpoint) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// activeCk holds the checkpoint consulted by runGrid (nil = none).
+var activeCk atomic.Pointer[Checkpoint]
+
+// SetCheckpoint installs (or, with nil, removes) the checkpoint that
+// identified grids consult and append to. cmd/hammerbench wires its
+// -resume flag here.
+func SetCheckpoint(ck *Checkpoint) {
+	if ck == nil {
+		activeCk.Store(nil)
+		return
+	}
+	activeCk.Store(ck)
+}
+
+func activeCheckpoint() *Checkpoint { return activeCk.Load() }
+
+// cellKey hashes everything that determines a cell's result. The machine
+// seed enters via core.DefaultSpec (experiments build their machines from
+// it); grids that vary the seed must fold it into Config.
+func cellKey(spec GridSpec, cell int) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|epoch=%d|seed=%d|cell=%d",
+		spec.ID, spec.Config, sim.DeterminismEpoch, core.DefaultSpec().Seed, cell)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"hammertime/internal/report"
+)
+
+func TestCheckpointResumeSkipsCompletedCells(t *testing.T) {
+	resetRobustness(t)
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	spec := GridSpec{ID: "t-ck", Config: "c1", Workers: 1}
+
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetCheckpoint(ck)
+	var calls atomic.Int64
+	fn := func(i int) (int, error) {
+		calls.Add(1)
+		return 3 * i, nil
+	}
+	run := runGrid(spec, 5, fn)
+	if err := run.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if run.Restored != 0 || calls.Load() != 5 || ck.Added() != 5 {
+		t.Fatalf("first run: restored=%d calls=%d added=%d", run.Restored, calls.Load(), ck.Added())
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if ck2.Loaded() != 5 {
+		t.Fatalf("reopened checkpoint holds %d cells, want 5", ck2.Loaded())
+	}
+	SetCheckpoint(ck2)
+	calls.Store(0)
+	again := runGrid(spec, 5, fn)
+	if err := again.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if again.Restored != 5 || calls.Load() != 0 {
+		t.Fatalf("resume: restored=%d calls=%d, want 5 and 0", again.Restored, calls.Load())
+	}
+	for i := range again.Results {
+		if again.Results[i] != run.Results[i] {
+			t.Fatalf("cell %d: restored %d, computed %d", i, again.Results[i], run.Results[i])
+		}
+	}
+
+	// A different config must never restore the stale cells.
+	other := runGrid(GridSpec{ID: "t-ck", Config: "c2", Workers: 1}, 5, fn)
+	if err := other.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if other.Restored != 0 || calls.Load() != 5 {
+		t.Fatalf("config change: restored=%d calls=%d, want 0 and 5", other.Restored, calls.Load())
+	}
+
+	// Anonymous grids (empty ID) never touch the checkpoint.
+	calls.Store(0)
+	anon := runGrid(GridSpec{Workers: 1}, 3, fn)
+	if err := anon.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if anon.Restored != 0 || calls.Load() != 3 {
+		t.Fatalf("anonymous grid: restored=%d calls=%d", anon.Restored, calls.Load())
+	}
+}
+
+func TestCheckpointTrimsTornTail(t *testing.T) {
+	resetRobustness(t)
+	path := filepath.Join(t.TempDir(), "grid.ckpt")
+	spec := GridSpec{ID: "t-torn", Config: "v1", Workers: 1}
+
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetCheckpoint(ck)
+	if err := runGrid(spec, 4, func(i int) (int, error) { return i, nil }).Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a SIGKILL mid-append: a record fragment without newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"deadbeef","grid":"t-torn","ce`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Loaded() != 4 {
+		t.Fatalf("loaded %d cells from torn file, want 4", ck2.Loaded())
+	}
+	if err := ck2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, clean) {
+		t.Fatalf("torn tail not trimmed:\n%q\nwant\n%q", after, clean)
+	}
+
+	// A corrupt full line likewise stops the load without failing it.
+	if err := os.WriteFile(path, append(append([]byte{}, clean...), []byte("not json\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck3, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck3.Close()
+	if ck3.Loaded() != 4 {
+		t.Fatalf("loaded %d cells past a corrupt line, want 4", ck3.Loaded())
+	}
+}
+
+// TestE1ResumeByteIdentical is the acceptance test of the checkpoint
+// design: an E1 run killed mid-grid (here: aborted by an injected cell
+// failure) and restarted with -resume must produce a table byte-identical
+// to an uninterrupted run's.
+func TestE1ResumeByteIdentical(t *testing.T) {
+	resetRobustness(t)
+	defenses := []string{"none", "trr"}
+	opts := AttackOpts{Horizon: 300_000, PagesPerTenant: 48, Parallelism: 1}
+
+	render := func(tb *report.Table) []byte {
+		var buf bytes.Buffer
+		if err := tb.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// Baseline: uninterrupted, uncheckpointed.
+	tb, err := E1Matrix(defenses, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(tb)
+
+	// Interrupted run: cell 5 fails (strict mode aborts the grid), but
+	// cells completed before it are already checkpointed.
+	path := filepath.Join(t.TempDir(), "e1.ckpt")
+	ck, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetCheckpoint(ck)
+	t.Setenv(failCellEnv, "e1:5:error")
+	if _, err := E1Matrix(defenses, 4, opts); err == nil {
+		t.Fatal("injected failure did not abort the strict run")
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Added() == 0 {
+		t.Fatal("interrupted run checkpointed no cells")
+	}
+
+	// Restart: the failpoint is gone, completed cells restore from the
+	// checkpoint, the rest compute fresh.
+	t.Setenv(failCellEnv, "")
+	ck2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if ck2.Loaded() != ck.Added() {
+		t.Fatalf("restart loaded %d cells, interrupted run wrote %d", ck2.Loaded(), ck.Added())
+	}
+	SetCheckpoint(ck2)
+	tb2, err := E1Matrix(defenses, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(tb2); !bytes.Equal(got, want) {
+		t.Errorf("resumed table differs from uninterrupted run:\n--- resumed ---\n%s\n--- baseline ---\n%s", got, want)
+	}
+}

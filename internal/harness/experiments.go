@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"hammertime/internal/attack"
 	"hammertime/internal/core"
@@ -45,25 +46,28 @@ func E1Matrix(defenses []string, manySided int, opts AttackOpts) (*report.Table,
 	}
 	tb := report.NewTable("E1: cross-domain flips, attack x defense (LPDDR4)", headers...)
 	nA := len(attacks)
-	cells := make([]string, len(defenses)*nA)
-	err := runCells(opts.Parallelism, len(cells), func(i int) error {
+	spec := GridSpec{
+		ID:      "e1",
+		Config:  fmt.Sprintf("defenses=%s;sided=%d;%s", strings.Join(defenses, ","), manySided, opts.configString()),
+		Workers: opts.Parallelism,
+	}
+	run := runGrid(spec, len(defenses)*nA, func(i int) (string, error) {
 		name, kind := defenses[i/nA], attacks[i%nA]
 		d, err := defense.New(name)
 		if err != nil {
-			return err
+			return "", err
 		}
 		out, err := RunAttack(E1Spec(), d, kind, opts)
 		if err != nil {
-			return fmt.Errorf("harness: E1 %s vs %s: %w", name, kind.Name, err)
+			return "", fmt.Errorf("harness: E1 %s vs %s: %w", name, kind.Name, err)
 		}
 		cell := fmt.Sprintf("%d", out.CrossFlips)
 		if !out.PlannedCross {
 			cell += " (no targets)"
 		}
-		cells[i] = cell
-		return nil
+		return cell, nil
 	})
-	if err != nil {
+	if err := run.Err(); err != nil {
 		return nil, err
 	}
 	for di, name := range defenses {
@@ -71,7 +75,10 @@ func E1Matrix(defenses []string, manySided int, opts AttackOpts) (*report.Table,
 		if err != nil {
 			return nil, err
 		}
-		row := append([]string{d.Name(), d.Class().String()}, cells[di*nA:(di+1)*nA]...)
+		row := []string{d.Name(), d.Class().String()}
+		for ai := range attacks {
+			row = append(row, run.Cell(di*nA+ai, func(s string) string { return s }))
+		}
 		tb.AddRow(row...)
 	}
 	return tb, nil
@@ -133,50 +140,60 @@ func E2Interleaving(horizon uint64) (*report.Table, []E2Result, error) {
 		"scheme", "workload", "accesses", "loss-vs-interleave%")
 	schemes := E2Schemes()
 	nW := len(workloads)
-	accs := make([]uint64, len(schemes)*nW)
-	err := runCells(0, len(accs), func(i int) error {
-		scheme, wl := schemes[i/nW], workloads[i%nW]
-		m, err := core.NewMachine(scheme.Spec)
-		if err != nil {
-			return fmt.Errorf("harness: E2 %s: %w", scheme.Name, err)
-		}
-		// The working set must exceed the LLC (2 MiB) or the cache
-		// absorbs the stream and no scheme differs.
-		tenants, err := SetupTenants(m, 1, 768)
-		if err != nil {
-			return err
-		}
-		var prog cpu.Program
-		switch wl {
-		case "stream":
-			prog, err = workload.Stream(tenants[0].Lines, 1<<30, 0)
-		case "random":
-			prog, err = workload.Random(tenants[0].Lines, 1<<30, 0, 0.2, m.RNG.Fork())
-		}
-		if err != nil {
-			return err
-		}
-		c, err := cpu.NewCore(0, tenants[0].Domain.ID, prog, m.Cache, m.MC)
-		if err != nil {
-			return err
-		}
-		c.MLP = 8
-		if _, err := m.Run([]core.Agent{c}, horizon); err != nil {
-			return err
-		}
-		accs[i] = c.Counters().Accesses
-		return nil
-	})
-	if err != nil {
+	run := runGrid(GridSpec{ID: "e2", Config: fmt.Sprintf("horizon=%d", horizon)},
+		len(schemes)*nW, func(i int) (uint64, error) {
+			scheme, wl := schemes[i/nW], workloads[i%nW]
+			m, err := core.NewMachine(scheme.Spec)
+			if err != nil {
+				return 0, fmt.Errorf("harness: E2 %s: %w", scheme.Name, err)
+			}
+			// The working set must exceed the LLC (2 MiB) or the cache
+			// absorbs the stream and no scheme differs.
+			tenants, err := SetupTenants(m, 1, 768)
+			if err != nil {
+				return 0, err
+			}
+			var prog cpu.Program
+			switch wl {
+			case "stream":
+				prog, err = workload.Stream(tenants[0].Lines, 1<<30, 0)
+			case "random":
+				prog, err = workload.Random(tenants[0].Lines, 1<<30, 0, 0.2, m.RNG.Fork())
+			}
+			if err != nil {
+				return 0, err
+			}
+			c, err := cpu.NewCore(0, tenants[0].Domain.ID, prog, m.Cache, m.MC)
+			if err != nil {
+				return 0, err
+			}
+			c.MLP = 8
+			if _, err := m.Run([]core.Agent{c}, horizon); err != nil {
+				return 0, err
+			}
+			return c.Counters().Accesses, nil
+		})
+	if err := run.Err(); err != nil {
 		return nil, nil, err
 	}
 	// Loss is relative to the line-interleave scheme, which is cell row 0.
+	// A failed cell degrades to an ERR() placeholder; a failed baseline
+	// additionally blanks the loss column of its workload.
 	var results []E2Result
 	for si, scheme := range schemes {
 		for wi, wl := range workloads {
-			acc := accs[si*nW+wi]
+			i := si*nW + wi
+			if ce := run.Failed(i); ce != nil {
+				tb.AddRow(scheme.Name, wl, report.ErrCell(ce.Reason()), "-")
+				continue
+			}
+			acc := run.Results[i]
+			if scheme.Name != "line-interleave" && run.Failed(wi) != nil {
+				tb.AddRowf(scheme.Name, wl, acc, "-")
+				continue
+			}
 			loss := 0.0
-			if base := accs[wi]; scheme.Name != "line-interleave" && base > 0 {
+			if base := run.Results[wi]; scheme.Name != "line-interleave" && base > 0 {
 				loss = 100 * (1 - float64(acc)/float64(base))
 			}
 			results = append(results, E2Result{
@@ -204,31 +221,32 @@ func E3DensityScaling(horizon uint64) (*report.Table, error) {
 	kind := attack.Kind{Name: "double-sided", Sided: 2}
 	gens := dram.Generations()
 	names := []string{"none", "trr", "swrefresh"}
-	flips := make([]uint64, len(gens)*len(names))
-	err := runCells(0, len(flips), func(i int) error {
-		prof, name := gens[i/len(names)], names[i%len(names)]
-		spec := core.DefaultSpec()
-		spec.Profile = prof
-		d, err := defense.New(name)
-		if err != nil {
-			return err
-		}
-		out, err := RunAttack(spec, d, kind, opts)
-		if err != nil {
-			return fmt.Errorf("harness: E3 %s/%s: %w", prof.Name, name, err)
-		}
-		flips[i] = out.CrossFlips
-		return nil
-	})
-	if err != nil {
+	run := runGrid(GridSpec{ID: "e3", Config: fmt.Sprintf("horizon=%d", horizon)},
+		len(gens)*len(names), func(i int) (uint64, error) {
+			prof, name := gens[i/len(names)], names[i%len(names)]
+			spec := core.DefaultSpec()
+			spec.Profile = prof
+			d, err := defense.New(name)
+			if err != nil {
+				return 0, err
+			}
+			out, err := RunAttack(spec, d, kind, opts)
+			if err != nil {
+				return 0, fmt.Errorf("harness: E3 %s/%s: %w", prof.Name, name, err)
+			}
+			return out.CrossFlips, nil
+		})
+	if err := run.Err(); err != nil {
 		return nil, err
 	}
+	flipCell := func(i int) string { return run.Cell(i, func(v uint64) string { return fmt.Sprint(v) }) }
 	for gi, prof := range gens {
 		spec := core.DefaultSpec()
 		spec.Profile = prof
 		entries := memctrl.RequiredEntries(spec.Timing.MaxActsPerWindowPerBank(), prof.MAC/4)
-		row := flips[gi*len(names) : (gi+1)*len(names)]
-		tb.AddRowf(prof.Name, prof.MAC, prof.BlastRadius, row[0], row[1], row[2], entries)
+		base := gi * len(names)
+		tb.AddRowf(prof.Name, prof.MAC, prof.BlastRadius,
+			flipCell(base), flipCell(base+1), flipCell(base+2), entries)
 	}
 	return tb, nil
 }
@@ -280,40 +298,60 @@ func E4Overhead(horizon uint64, paraProbs []float64) (*report.Table, error) {
 
 	tb := report.NewTable("E4: benign multi-tenant overhead by defense",
 		"defense", "accesses", "slowdown%", "DRAM nJ/access")
-	accs := make([]uint64, len(entries))
-	energies := make([]float64, len(entries))
-	err := runCells(0, len(entries), func(i int) error {
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.name
+	}
+	run := runGrid(GridSpec{
+		ID:     "e4",
+		Config: fmt.Sprintf("horizon=%d;defenses=%s;probs=%v", horizon, strings.Join(names, ","), paraProbs),
+	}, len(entries), func(i int) (e4Cell, error) {
 		d, err := entries[i].mk()
 		if err != nil {
-			return err
+			return e4Cell{}, err
 		}
 		acc, energy, err := runBenign(d, horizon)
 		if err != nil {
-			return fmt.Errorf("harness: E4 %s: %w", entries[i].name, err)
+			return e4Cell{}, fmt.Errorf("harness: E4 %s: %w", entries[i].name, err)
 		}
-		accs[i], energies[i] = acc, energy
-		return nil
+		return e4Cell{Accesses: acc, Energy: energy}, nil
 	})
-	if err != nil {
+	if err := run.Err(); err != nil {
 		return nil, err
 	}
-	// Slowdown is relative to the undefended "none" entry, always first.
+	// Slowdown is relative to the undefended "none" entry, always first;
+	// if that baseline cell failed, the slowdown column degrades too.
 	var baseline uint64
 	for i, e := range entries {
-		acc := accs[i]
+		if ce := run.Failed(i); ce != nil {
+			tb.AddRow(e.name, report.ErrCell(ce.Reason()), "-", "-")
+			continue
+		}
+		acc := run.Results[i].Accesses
 		slowdown := 0.0
 		if e.name == "none" {
 			baseline = acc
-		} else if baseline > 0 {
-			slowdown = 100 * (1 - float64(acc)/float64(baseline))
 		}
 		perAccess := 0.0
 		if acc > 0 {
-			perAccess = energies[i] / 1e3 / float64(acc)
+			perAccess = run.Results[i].Energy / 1e3 / float64(acc)
+		}
+		if e.name != "none" && baseline == 0 {
+			tb.AddRowf(e.name, acc, "-", perAccess)
+			continue
+		}
+		if e.name != "none" {
+			slowdown = 100 * (1 - float64(acc)/float64(baseline))
 		}
 		tb.AddRowf(e.name, acc, slowdown, perAccess)
 	}
 	return tb, nil
+}
+
+// e4Cell is E4's checkpointable cell result.
+type e4Cell struct {
+	Accesses uint64  `json:"accesses"`
+	Energy   float64 `json:"energy"`
 }
 
 // runBenign runs three benign tenants (stream + random mix, MLP 4) under

@@ -38,8 +38,10 @@ func E5TRRBypass(horizon uint64, sides []int, trackers []int) (*report.Table, er
 	spec.Profile = dram.DDR4Old()
 	opts := AttackOpts{Horizon: horizon}
 	nC := 1 + len(trackers) // columns per row: undefended + one per tracker size
-	cells := make([]string, len(sides)*nC)
-	err := runCells(0, len(cells), func(i int) error {
+	run := runGrid(GridSpec{
+		ID:     "e5",
+		Config: fmt.Sprintf("horizon=%d;sides=%v;trackers=%v", horizon, sides, trackers),
+	}, len(sides)*nC, func(i int) (string, error) {
 		k, ci := sides[i/nC], i%nC
 		kind := attack.Kind{Name: fmt.Sprintf("many-sided(%d)", k), Sided: k}
 		var d core.Defense = defense.None{}
@@ -50,16 +52,19 @@ func E5TRRBypass(horizon uint64, sides []int, trackers []int) (*report.Table, er
 		}
 		out, err := RunAttack(spec, d, kind, opts)
 		if err != nil {
-			return fmt.Errorf("harness: E5 %s/%d: %w", d.Name(), k, err)
+			return "", fmt.Errorf("harness: E5 %s/%d: %w", d.Name(), k, err)
 		}
-		cells[i] = fmt.Sprint(out.CrossFlips)
-		return nil
+		return fmt.Sprint(out.CrossFlips), nil
 	})
-	if err != nil {
+	if err := run.Err(); err != nil {
 		return nil, err
 	}
 	for si, k := range sides {
-		tb.AddRow(append([]string{fmt.Sprint(k)}, cells[si*nC:(si+1)*nC]...)...)
+		row := []string{fmt.Sprint(k)}
+		for ci := 0; ci < nC; ci++ {
+			row = append(row, run.Cell(si*nC+ci, func(s string) string { return s }))
+		}
+		tb.AddRow(row...)
 	}
 	return tb, nil
 }
@@ -103,19 +108,24 @@ func E6ActInterrupt(horizon uint64) (*report.Table, []E6Result, error) {
 	}
 	tb := report.NewTable("E6: precise ACT interrupt vs evasive attacker (LPDDR4)",
 		"counter mode", "overflows", "aggressor flags", "first flag cycle", "cross flips", "attack")
-	results := make([]E6Result, len(modes))
-	err := runCells(0, len(modes), func(i int) error {
-		res, err := runE6(modes[i], horizon)
-		if err != nil {
-			return fmt.Errorf("harness: E6 %s: %w", modes[i].Name, err)
-		}
-		results[i] = res
-		return nil
-	})
-	if err != nil {
+	run := runGrid(GridSpec{ID: "e6", Config: fmt.Sprintf("horizon=%d", horizon)},
+		len(modes), func(i int) (E6Result, error) {
+			res, err := runE6(modes[i], horizon)
+			if err != nil {
+				return E6Result{}, fmt.Errorf("harness: E6 %s: %w", modes[i].Name, err)
+			}
+			return res, nil
+		})
+	if err := run.Err(); err != nil {
 		return nil, nil, err
 	}
-	for _, res := range results {
+	results := run.Results
+	for i, res := range results {
+		if ce := run.Failed(i); ce != nil {
+			errCell := report.ErrCell(ce.Reason())
+			tb.AddRow(modes[i].Name, errCell, errCell, "-", errCell, "-")
+			continue
+		}
 		outcome := "DEFEATED"
 		if res.CrossFlips > 0 {
 			outcome = "SUCCEEDS"
@@ -312,25 +322,31 @@ func E8Enclave(horizon uint64) (*report.Table, error) {
 	}
 	tb := report.NewTable("E8: enclave integrity semantics under attack (LPDDR4, no defense)",
 		"victim memory", "cross flips", "machine locked up", "outcome")
-	outs := make([]AttackOutcome, 2)
-	err := runCells(0, len(outs), func(i int) error {
-		out, err := RunAttack(E1Spec(), defense.None{}, attack.Kind{Name: "double-sided", Sided: 2},
-			AttackOpts{Horizon: horizon, VictimIntegrity: i == 1})
-		if err != nil {
-			return fmt.Errorf("harness: E8 integrity=%v: %w", i == 1, err)
-		}
-		outs[i] = out
-		return nil
-	})
-	if err != nil {
+	run := runGrid(GridSpec{ID: "e8", Config: fmt.Sprintf("horizon=%d", horizon)},
+		2, func(i int) (e8Cell, error) {
+			out, err := RunAttack(E1Spec(), defense.None{}, attack.Kind{Name: "double-sided", Sided: 2},
+				AttackOpts{Horizon: horizon, VictimIntegrity: i == 1})
+			if err != nil {
+				return e8Cell{}, fmt.Errorf("harness: E8 integrity=%v: %w", i == 1, err)
+			}
+			return e8Cell{CrossFlips: out.CrossFlips, LockedUp: out.LockedUp}, nil
+		})
+	if err := run.Err(); err != nil {
 		return nil, err
 	}
 	for i, integrity := range []bool{false, true} {
-		out := outs[i]
 		label := "plain"
-		outcome := "silent cross-domain corruption"
 		if integrity {
 			label = "integrity-checked enclave"
+		}
+		if ce := run.Failed(i); ce != nil {
+			errCell := report.ErrCell(ce.Reason())
+			tb.AddRow(label, errCell, errCell, "-")
+			continue
+		}
+		out := run.Results[i]
+		outcome := "silent cross-domain corruption"
+		if integrity {
 			outcome = "detected: denial of service only"
 			if !out.LockedUp {
 				outcome = "UNEXPECTED: no lockup"
@@ -339,4 +355,10 @@ func E8Enclave(horizon uint64) (*report.Table, error) {
 		tb.AddRow(label, fmt.Sprint(out.CrossFlips), fmt.Sprint(out.LockedUp), outcome)
 	}
 	return tb, nil
+}
+
+// e8Cell is E8's checkpointable cell result.
+type e8Cell struct {
+	CrossFlips uint64 `json:"cross_flips"`
+	LockedUp   bool   `json:"locked_up"`
 }

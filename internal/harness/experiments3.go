@@ -46,20 +46,29 @@ func E7RefreshPath() (*report.Table, []E7Result, error) {
 	tb := report.NewTable("E7: targeted-refresh mechanisms (§4.3)",
 		"method", "bank state", "cycles", "ACT cmds", "bus transfers", "victim refreshed")
 	methods := []E7Method{E7RefreshInstr, E7RefNeighbors, E7LoadPath}
-	results := make([]E7Result, 2*len(methods))
-	err := runCells(0, len(results), func(i int) error {
-		method, victimOpen := methods[i/2], i%2 == 1
-		r, err := runE7(method, victimOpen)
-		if err != nil {
-			return fmt.Errorf("harness: E7 %s: %w", method, err)
-		}
-		results[i] = r
-		return nil
-	})
-	if err != nil {
+	run := runGrid(GridSpec{ID: "e7", Config: "v1"},
+		2*len(methods), func(i int) (E7Result, error) {
+			method, victimOpen := methods[i/2], i%2 == 1
+			r, err := runE7(method, victimOpen)
+			if err != nil {
+				return E7Result{}, fmt.Errorf("harness: E7 %s: %w", method, err)
+			}
+			return r, nil
+		})
+	if err := run.Err(); err != nil {
 		return nil, nil, err
 	}
-	for _, r := range results {
+	results := run.Results
+	for i, r := range results {
+		if ce := run.Failed(i); ce != nil {
+			state := "other row open"
+			if i%2 == 1 {
+				state = "victim row open"
+			}
+			errCell := report.ErrCell(ce.Reason())
+			tb.AddRow(string(methods[i/2]), state, errCell, errCell, errCell, "-")
+			continue
+		}
 		tb.AddRow(string(r.Method), r.BankState, fmt.Sprint(r.Cycles),
 			fmt.Sprint(r.ACTs), fmt.Sprint(r.BusTransfers), fmt.Sprint(r.Refreshed))
 	}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"hammertime/internal/addr"
 	"hammertime/internal/attack"
 	"hammertime/internal/core"
@@ -61,22 +63,23 @@ func E9ECC(horizons []uint64) (*report.Table, []ECCOutcome, error) {
 	}
 	tb := report.NewTable("E9: SECDED ECC outcomes under double-sided attack (LPDDR4)",
 		"config", "horizon (cycles)", "raw flips", "words corrected", "words detected (DoS)", "words silent-corrupt")
-	outs := make([]ECCOutcome, 2*len(horizons))
-	err := runCells(0, len(outs), func(i int) error {
-		out, err := runE9(horizons[i/2], i%2 == 1)
-		if err != nil {
-			return err
-		}
-		outs[i] = out
-		return nil
-	})
-	if err != nil {
+	run := runGrid(GridSpec{ID: "e9", Config: fmt.Sprintf("horizons=%v", horizons)},
+		2*len(horizons), func(i int) (ECCOutcome, error) {
+			return runE9(horizons[i/2], i%2 == 1)
+		})
+	if err := run.Err(); err != nil {
 		return nil, nil, err
 	}
+	outs := run.Results
 	for i, out := range outs {
 		label := "ecc"
 		if i%2 == 1 {
 			label = "ecc+scrub"
+		}
+		if ce := run.Failed(i); ce != nil {
+			errCell := report.ErrCell(ce.Reason())
+			tb.AddRowf(label, horizons[i/2], errCell, errCell, errCell, errCell)
+			continue
 		}
 		tb.AddRowf(label, horizons[i/2], out.RawFlips, out.Corrected, out.Detected, out.Silent)
 	}
@@ -161,56 +164,62 @@ func E10HalfDouble(horizon uint64) (*report.Table, error) {
 	tb := report.NewTable("E10: Half-Double relay through mitigation activations (radius-1 module)",
 		"TRR cure mechanism", "mitigations", "flips within radius", "flips beyond radius (relayed)")
 	type e10Row struct {
-		mitigations, within, relayed uint64
+		Mitigations uint64 `json:"mitigations"`
+		Within      uint64 `json:"within"`
+		Relayed     uint64 `json:"relayed"`
 	}
-	rows := make([]e10Row, 2)
-	err := runCells(0, len(rows), func(i int) error {
-		cureACT := i == 1
-		spec := core.DefaultSpec()
-		spec.Profile = prof
-		trr := dram.DefaultTRR()
-		trr.CureWithACT = cureACT
-		spec.TRR = &trr
-		m, err := core.NewMachine(spec)
-		if err != nil {
-			return err
-		}
-		tenants, err := SetupTenants(m, 3, 170)
-		if err != nil {
-			return err
-		}
-		attacker := tenants[0].Domain.ID
-		plan, err := attack.PlanSingleSided(m.Kernel, m.Mapper, attacker, 1, 1)
-		if err != nil {
-			return err
-		}
-		prog, err := attack.HammerVA(m.Kernel, attacker, plan, 1<<30, true)
-		if err != nil {
-			return err
-		}
-		c, err := cpu.NewCore(0, attacker, prog, m.Cache, m.MC)
-		if err != nil {
-			return err
-		}
-		if _, err := m.Run([]core.Agent{c}, horizon); err != nil {
-			return err
-		}
-		rows[i] = e10Row{
-			mitigations: m.DRAM.TRRStats(),
-			within:      m.Flips() - m.MitigationFlips(),
-			relayed:     m.MitigationFlips(),
-		}
-		return nil
-	})
-	if err != nil {
+	run := runGrid(GridSpec{ID: "e10", Config: fmt.Sprintf("horizon=%d", horizon)},
+		2, func(i int) (e10Row, error) {
+			cureACT := i == 1
+			spec := core.DefaultSpec()
+			spec.Profile = prof
+			trr := dram.DefaultTRR()
+			trr.CureWithACT = cureACT
+			spec.TRR = &trr
+			m, err := core.NewMachine(spec)
+			if err != nil {
+				return e10Row{}, err
+			}
+			tenants, err := SetupTenants(m, 3, 170)
+			if err != nil {
+				return e10Row{}, err
+			}
+			attacker := tenants[0].Domain.ID
+			plan, err := attack.PlanSingleSided(m.Kernel, m.Mapper, attacker, 1, 1)
+			if err != nil {
+				return e10Row{}, err
+			}
+			prog, err := attack.HammerVA(m.Kernel, attacker, plan, 1<<30, true)
+			if err != nil {
+				return e10Row{}, err
+			}
+			c, err := cpu.NewCore(0, attacker, prog, m.Cache, m.MC)
+			if err != nil {
+				return e10Row{}, err
+			}
+			if _, err := m.Run([]core.Agent{c}, horizon); err != nil {
+				return e10Row{}, err
+			}
+			return e10Row{
+				Mitigations: m.DRAM.TRRStats(),
+				Within:      m.Flips() - m.MitigationFlips(),
+				Relayed:     m.MitigationFlips(),
+			}, nil
+		})
+	if err := run.Err(); err != nil {
 		return nil, err
 	}
-	for i, r := range rows {
+	for i, r := range run.Results {
 		mode := "internal recharge"
 		if i == 1 {
 			mode = "activate-based"
 		}
-		tb.AddRowf(mode, r.mitigations, r.within, r.relayed)
+		if ce := run.Failed(i); ce != nil {
+			errCell := report.ErrCell(ce.Reason())
+			tb.AddRow(mode, errCell, errCell, errCell)
+			continue
+		}
+		tb.AddRowf(mode, r.Mitigations, r.Within, r.Relayed)
 	}
 	return tb, nil
 }

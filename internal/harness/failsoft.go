@@ -1,0 +1,455 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hammertime/internal/obs"
+	"hammertime/internal/report"
+)
+
+// The robustness layer of the experiment harness. Long sweeps (the
+// BlockHammer- and Kim-style grids of E1-E10) are embarrassingly parallel
+// and all-or-nothing by default: one failing cell aborts the whole run.
+// The policy below turns that into fail-soft semantics: panics are
+// contained into typed CellErrors, failed cells may be retried a bounded
+// number of times or cut off by a per-cell wall-clock deadline, and in
+// fail-soft mode the grid finishes with the failure recorded per cell so
+// tables render ERR(reason) placeholders instead of dropping the run.
+
+// Policy configures how experiment grids treat failing cells. The zero
+// value is the historical strict behavior: no retries, no deadline, and
+// the lowest-index error among the attempted cells aborts the grid.
+type Policy struct {
+	// FailSoft records per-cell failures and finishes the grid instead of
+	// stopping at the first error; experiments annotate the failed cells.
+	FailSoft bool
+	// Retries re-runs a failed cell up to this many extra times before
+	// recording the failure. Timed-out cells are never retried: their
+	// abandoned attempt may still be running, and a concurrent re-run
+	// could race with it.
+	Retries int
+	// CellTimeout is a per-cell wall-clock deadline (0 = none). The
+	// harness cannot forcibly stop a cell, so a timed-out cell's goroutine
+	// runs to completion in the background; its result is discarded.
+	CellTimeout time.Duration
+}
+
+// currentPolicy holds the package-wide grid policy (nil = zero Policy).
+var currentPolicy atomic.Pointer[Policy]
+
+// SetPolicy installs the package-wide grid policy. The CLIs wire their
+// -fail-soft/-retries/-cell-timeout flags here.
+func SetPolicy(p Policy) { currentPolicy.Store(&p) }
+
+// GridPolicy returns the installed policy (zero value when unset).
+func GridPolicy() Policy {
+	if p := currentPolicy.Load(); p != nil {
+		return *p
+	}
+	return Policy{}
+}
+
+// gridObs holds the recorder that receives cell retry/failure events
+// (KindCellRetry/KindCellFail), so traces show where a grid degraded.
+var gridObs atomic.Pointer[obs.Recorder]
+
+// SetGridObserver installs (or, with nil, removes) the recorder that
+// receives harness cell-retry and cell-failure events.
+func SetGridObserver(rec *obs.Recorder) {
+	if rec == nil {
+		gridObs.Store(nil)
+		return
+	}
+	gridObs.Store(rec)
+}
+
+func gridObserver() *obs.Recorder { return gridObs.Load() }
+
+// CellError is the typed failure of one experiment-grid cell: which grid
+// and cell, how many attempts were made, and whether the final attempt
+// errored, panicked, or exceeded its deadline.
+type CellError struct {
+	// Grid is the grid's identifier ("e1", ...; empty for anonymous grids).
+	Grid string
+	// Index is the failing cell's grid index.
+	Index int
+	// Attempts is how many times the cell was run (1 + retries used).
+	Attempts int
+	// Panicked marks a contained panic; Stack holds its stack trace.
+	Panicked bool
+	// TimedOut marks a cell that exceeded Policy.CellTimeout.
+	TimedOut bool
+	// Stack is the panic stack trace (empty otherwise).
+	Stack string
+	// Err is the underlying cause (the cell's error, the wrapped panic
+	// value, or the deadline error).
+	Err error
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	grid := e.Grid
+	if grid == "" {
+		grid = "grid"
+	}
+	what := "failed"
+	switch {
+	case e.Panicked:
+		what = "panicked"
+	case e.TimedOut:
+		what = "timed out"
+	}
+	if e.Attempts > 1 {
+		return fmt.Sprintf("harness: %s cell %d %s after %d attempts: %v", grid, e.Index, what, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("harness: %s cell %d %s: %v", grid, e.Index, what, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Reason is the short, deterministic tag rendered into ERR(...) table
+// cells: "panic" and "timeout" for contained crashes and deadlines,
+// otherwise the root cause's message, flattened and truncated.
+func (e *CellError) Reason() string {
+	switch {
+	case e.Panicked:
+		return "panic"
+	case e.TimedOut:
+		return "timeout"
+	}
+	msg := "error"
+	if e.Err != nil {
+		msg = e.Err.Error()
+	}
+	msg = strings.Join(strings.Fields(msg), " ")
+	const maxReason = 48
+	if len(msg) > maxReason {
+		msg = msg[:maxReason-1] + "…"
+	}
+	return msg
+}
+
+// GridSpec identifies one experiment grid for checkpointing and
+// observability. ID and Config together must determine the grid's results
+// (experiment name, horizon, sweep parameters, ...): checkpoint keys are
+// a hash of (ID, Config, DeterminismEpoch, machine seed, cell index), so
+// a run with different parameters never restores a stale cell. Grids with
+// an empty ID are anonymous: policy still applies, checkpointing does not.
+type GridSpec struct {
+	ID      string
+	Config  string
+	Workers int
+}
+
+// GridRun is the outcome of one grid execution: the per-cell results plus
+// any recorded failures.
+type GridRun[T any] struct {
+	spec GridSpec
+	// Results holds one entry per cell; entries of failed cells are the
+	// zero value and must be guarded with Failed.
+	Results []T
+	// Restored counts cells whose results came from the checkpoint
+	// instead of being computed.
+	Restored int
+
+	strict   bool
+	mu       sync.Mutex
+	failures map[int]*CellError
+}
+
+// Failed returns the failure of cell i, or nil if it succeeded.
+func (g *GridRun[T]) Failed(i int) *CellError {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.failures[i]
+}
+
+// Failures returns every recorded cell failure, ordered by cell index.
+func (g *GridRun[T]) Failures() []*CellError {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*CellError, 0, len(g.failures))
+	for _, ce := range g.failures {
+		out = append(out, ce)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Err resolves the run per the active policy: nil when every cell
+// succeeded; under fail-soft nil regardless (callers annotate via Failed);
+// otherwise the lowest-index failure — the same error a serial strict run
+// would hit first among the attempted cells.
+func (g *GridRun[T]) Err() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.failures) == 0 || !g.strict {
+		return nil
+	}
+	var first *CellError
+	for _, ce := range g.failures {
+		if first == nil || ce.Index < first.Index {
+			first = ce
+		}
+	}
+	return first
+}
+
+// Cell renders cell i: render(result) on success, the ERR(reason)
+// placeholder on failure.
+func (g *GridRun[T]) Cell(i int, render func(T) string) string {
+	if ce := g.Failed(i); ce != nil {
+		return report.ErrCell(ce.Reason())
+	}
+	return render(g.Results[i])
+}
+
+// failCellEnv is the fault-injection hook used by the end-to-end tests
+// (and handy for poking a live binary): "grid:index" fails that cell,
+// with an optional ":panic" (crash instead of error) or ":once" (fail
+// only the first attempt, so retries succeed) suffix.
+const failCellEnv = "HAMMERTIME_FAIL_CELL"
+
+type failpoint struct {
+	index int
+	mode  string // "error", "panic", "once"
+}
+
+func parseFailpoint(grid string) *failpoint {
+	v := os.Getenv(failCellEnv)
+	if v == "" || grid == "" {
+		return nil
+	}
+	parts := strings.Split(v, ":")
+	if len(parts) < 2 || parts[0] != grid {
+		return nil
+	}
+	idx, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil
+	}
+	fp := &failpoint{index: idx, mode: "error"}
+	if len(parts) > 2 {
+		fp.mode = parts[2]
+	}
+	return fp
+}
+
+// runGrid executes fn(0..n-1) on the worker pool under the current
+// Policy and checkpoint. Cells must be independent and return their
+// result instead of writing shared state: the runner assigns
+// Results[i] only when an attempt completes within its deadline, which
+// is what keeps abandoned (timed-out) attempts from racing with table
+// assembly. Parallel and serial runs produce byte-identical results;
+// so do checkpointed and uncheckpointed ones, because restored cells
+// are exact JSON round trips of values the same code computed.
+func runGrid[T any](spec GridSpec, n int, fn func(i int) (T, error)) *GridRun[T] {
+	pol := GridPolicy()
+	run := &GridRun[T]{
+		spec:     spec,
+		Results:  make([]T, n),
+		strict:   !pol.FailSoft,
+		failures: make(map[int]*CellError),
+	}
+	ck := activeCheckpoint()
+	if spec.ID == "" {
+		ck = nil
+	}
+	fp := parseFailpoint(spec.ID)
+	var restored atomic.Int64
+
+	bc := benchCollector()
+	cell := func(i int) *CellError {
+		var key string
+		if ck != nil {
+			key = cellKey(spec, i)
+			if raw, ok := ck.lookup(key); ok {
+				if jerr := json.Unmarshal(raw, &run.Results[i]); jerr == nil {
+					restored.Add(1)
+					return nil
+				}
+				// Undecodable record (e.g. the cell type changed):
+				// recompute and overwrite below.
+			}
+		}
+		start := time.Now()
+		ce := runCellGuarded(spec.ID, i, pol, fp, fn, &run.Results[i])
+		if bc != nil {
+			bc.recordCell(i, time.Since(start))
+		}
+		if ce == nil && ck != nil {
+			ck.record(spec.ID, i, key, run.Results[i])
+		}
+		return ce
+	}
+
+	workers := resolveWorkers(spec.Workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ce := cell(i); ce != nil {
+				run.failures[i] = ce
+				if !pol.FailSoft {
+					break
+				}
+			}
+		}
+		run.Restored = int(restored.Load())
+		return run
+	}
+
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || stop.Load() {
+					return
+				}
+				if ce := cell(i); ce != nil {
+					run.mu.Lock()
+					run.failures[i] = ce
+					run.mu.Unlock()
+					if !pol.FailSoft {
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	run.Restored = int(restored.Load())
+	return run
+}
+
+// runCellGuarded runs one cell under the policy: contained panics,
+// optional deadline, bounded retries, and obs events on retry/failure.
+// On success the result is stored into *out; on timeout *out is left
+// untouched so the abandoned attempt cannot race with readers.
+func runCellGuarded[T any](grid string, i int, pol Policy, fp *failpoint, fn func(i int) (T, error), out *T) *CellError {
+	attempts := 1 + pol.Retries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last *CellError
+	for a := 1; a <= attempts; a++ {
+		wrapped := func() (T, error) {
+			if fp != nil && fp.index == i {
+				switch fp.mode {
+				case "panic":
+					panic(fmt.Sprintf("injected panic (%s=%s)", failCellEnv, os.Getenv(failCellEnv)))
+				case "once":
+					if a == 1 {
+						var zero T
+						return zero, fmt.Errorf("injected transient failure (%s)", failCellEnv)
+					}
+				default:
+					var zero T
+					return zero, fmt.Errorf("injected failure (%s)", failCellEnv)
+				}
+			}
+			return fn(i)
+		}
+		v, err, panicked, timedOut, stack := attemptCell(wrapped, pol.CellTimeout)
+		if err == nil {
+			*out = v
+			return nil
+		}
+		last = &CellError{
+			Grid: grid, Index: i, Attempts: a,
+			Panicked: panicked, TimedOut: timedOut, Stack: stack, Err: err,
+		}
+		if timedOut {
+			// The abandoned goroutine may still be running; a retry
+			// would race with it. The deadline is final.
+			break
+		}
+		if a < attempts {
+			gridObserver().Emit(obs.Event{
+				Kind: obs.KindCellRetry, Bank: -1, Row: -1, Domain: -1,
+				Line: uint64(i), Arg: uint64(a),
+			})
+		}
+	}
+	gridObserver().Emit(obs.Event{
+		Kind: obs.KindCellFail, Bank: -1, Row: -1, Domain: -1,
+		Line: uint64(i), Arg: uint64(last.Attempts),
+	})
+	return last
+}
+
+// attemptCell runs fn once with panic containment and, when timeout > 0,
+// a wall-clock deadline. The deadline path runs fn on its own goroutine;
+// on expiry the attempt is abandoned (the goroutine finishes in the
+// background, its result discarded) and the cell reports TimedOut.
+func attemptCell[T any](fn func() (T, error), timeout time.Duration) (v T, err error, panicked, timedOut bool, stack string) {
+	if timeout <= 0 {
+		v, err, panicked, stack = callContained(fn)
+		return v, err, panicked, false, stack
+	}
+	type outcome struct {
+		v        T
+		err      error
+		panicked bool
+		stack    string
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		o.v, o.err, o.panicked, o.stack = callContained(fn)
+		ch <- o
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.v, o.err, o.panicked, false, o.stack
+	case <-timer.C:
+		var zero T
+		return zero, fmt.Errorf("cell exceeded %v deadline", timeout), false, true, ""
+	}
+}
+
+// callContained invokes fn, converting a panic into an error plus its
+// stack trace.
+func callContained[T any](fn func() (T, error)) (v T, err error, panicked bool, stack string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			stack = string(debug.Stack())
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	v, err = fn()
+	return v, err, false, ""
+}
+
+// Guarded applies the current Policy to a single non-grid run (panic
+// containment, retries, deadline): cmd/hammersim routes its one scenario
+// through it so a crash or hang degrades into a reportable *CellError.
+// The result is assigned only when an attempt completes in time.
+func Guarded[T any](label string, fn func() (T, error)) (T, *CellError) {
+	var v T
+	ce := runCellGuarded(label, 0, GridPolicy(), parseFailpoint(label), func(int) (T, error) { return fn() }, &v)
+	return v, ce
+}

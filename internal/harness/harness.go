@@ -89,6 +89,14 @@ type AttackOpts struct {
 	Observer *obs.Recorder
 }
 
+// configString folds the result-determining options into a stable string
+// for checkpoint keys. Observer-only fields (Observer, AttackTrace,
+// Parallelism) are excluded: they never change simulation results.
+func (o AttackOpts) configString() string {
+	return fmt.Sprintf("horizon=%d;tenants=%d;pages=%d;think=%d;integrity=%t;replay=%t",
+		o.Horizon, o.Tenants, o.PagesPerTenant, o.BenignThink, o.VictimIntegrity, o.ReplayAttack != nil)
+}
+
 func (o *AttackOpts) applyDefaults() {
 	if o.Horizon == 0 {
 		o.Horizon = 4_000_000

@@ -2,9 +2,7 @@ package harness
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // The experiment grids of E1-E10 are embarrassingly parallel: every
@@ -21,6 +19,10 @@ import (
 //     scheduling order;
 //   - results land in a slice indexed by cell, and tables are assembled
 //     from that slice in cell order after the pool drains.
+//
+// Fault containment, retry/deadline policy, fail-soft error recording and
+// checkpoint/resume live in failsoft.go and checkpoint.go; the pool here
+// only resolves worker counts.
 
 // defaultWorkers is the package-wide worker count used when a caller does
 // not override it: 0 means runtime.GOMAXPROCS(0).
@@ -54,64 +56,16 @@ func resolveWorkers(requested int) int {
 // runCells executes fn(0..n-1), each call exactly once, on at most
 // `workers` goroutines (resolved via resolveWorkers). Cell functions must
 // be independent: they may only write state they own plus their own index
-// of a pre-sized results slice. On error the pool stops handing out new
-// cells and the lowest-index error among the attempted cells is returned —
-// the same error a serial run would hit first among those attempted.
+// of a pre-sized results slice. Execution follows the installed Policy
+// (see failsoft.go): panics are contained into *CellError, and in the
+// default strict mode an error stops the pool and the lowest-index error
+// among the attempted cells is returned — the same error a serial run
+// would hit first among those attempted. Grids whose cells produce
+// results (and that want checkpointing and ERR() annotation) use runGrid
+// directly; runCells remains for side-effect-only grids.
 func runCells(workers, n int, fn func(i int) error) error {
-	if c := benchCollector(); c != nil {
-		// Time every cell for the performance report. Observer-only: the
-		// wrapped fn runs exactly as before.
-		inner := fn
-		fn = func(i int) error {
-			start := time.Now()
-			err := inner(i)
-			c.recordCell(i, time.Since(start))
-			return err
-		}
-	}
-	workers = resolveWorkers(workers)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		mu     sync.Mutex
-		errIdx = -1
-		first  error
-		wg     sync.WaitGroup
-	)
-	next.Store(-1)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= n || failed.Load() {
-					return
-				}
-				if err := fn(i); err != nil {
-					failed.Store(true)
-					mu.Lock()
-					if errIdx < 0 || i < errIdx {
-						errIdx, first = i, err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return first
+	run := runGrid(GridSpec{Workers: workers}, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return run.Err()
 }

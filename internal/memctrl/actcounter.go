@@ -60,9 +60,12 @@ func (c *actCounter) onACT(ev ACTEvent, rec *obs.Recorder) {
 		return
 	}
 	c.count++
-	if c.count < c.threshold || c.handler == nil || c.inHandler {
+	if c.count < c.threshold || c.inHandler {
 		return
 	}
+	// The hardware counter overflows whether or not software registered a
+	// handler: count it and reset, so ACTOverflows and stats snapshots
+	// reflect every overflow and count cannot grow without bound.
 	c.overflows++
 	if !c.precise {
 		ev = ACTEvent{Cycle: ev.Cycle, Source: ev.Source}
@@ -73,6 +76,10 @@ func (c *actCounter) onACT(ev ACTEvent, rec *obs.Recorder) {
 			out.Bank, out.Row, out.Domain, out.Line = ev.Bank, ev.Row, ev.Domain, ev.Line
 		}
 		rec.Emit(out)
+	}
+	if c.handler == nil {
+		c.count = 0
+		return
 	}
 	c.inHandler = true
 	c.count = c.handler(ev)

@@ -541,3 +541,27 @@ func TestUncoreMovePermissionHook(t *testing.T) {
 		t.Fatal("out-of-scope destination allowed")
 	}
 }
+
+func TestActCounterNilHandlerStillCountsOverflows(t *testing.T) {
+	c, mod := build(t, nil)
+	g := mod.Geometry()
+	stripe := uint64(g.Banks * g.ColumnsPerRow)
+	// No handler registered: the hardware counter still overflows, is
+	// still counted, and still resets (a handler-less counter must not
+	// saturate and go silent).
+	if err := c.EnableACTCounter(true, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	now := uint64(0)
+	for i := 0; i < 12; i++ {
+		res, err := c.ServeRequest(Request{Line: uint64(i%2) * stripe}, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = res.Completion
+	}
+	// 12 ACTs at threshold 3, reset to 0 on each overflow => 4 overflows.
+	if got := c.ACTOverflows(); got != 4 {
+		t.Fatalf("ACTOverflows = %d, want 4", got)
+	}
+}

@@ -61,6 +61,13 @@ const (
 	// probable aggressor row (Bank, Row, Domain) — the decision point
 	// between interrupt delivery and response.
 	KindDefenseTrigger
+	// KindCellRetry is an experiment-grid cell failing one attempt and
+	// being handed back to the pool (Line=cell index, Arg=failed attempt
+	// number). Cycle is 0: harness events are wall-clock, not simulated.
+	KindCellRetry
+	// KindCellFail is an experiment-grid cell exhausting its attempts and
+	// being recorded as failed (Line=cell index, Arg=attempts made).
+	KindCellFail
 
 	numKinds
 )
@@ -83,6 +90,8 @@ var kindNames = [numKinds]string{
 	KindLineLock:        "line-lock",
 	KindLineUnlock:      "line-unlock",
 	KindDefenseTrigger:  "defense-trigger",
+	KindCellRetry:       "cell-retry",
+	KindCellFail:        "cell-fail",
 }
 
 // String returns the event kind's stable wire name.

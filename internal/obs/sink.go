@@ -252,6 +252,8 @@ func (c *ChromeTrace) route(ev Event) (pid, tid int, track string) {
 		return ctPidSystem, 2, "cache"
 	case KindBitFlip:
 		return ctPidSystem, 3, "flips"
+	case KindCellRetry, KindCellFail:
+		return ctPidSystem, 4, "harness"
 	default:
 		return ctPidSystem, 0, "misc"
 	}

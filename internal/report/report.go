@@ -32,6 +32,37 @@ func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, row)
 }
 
+// errCellPrefix marks a cell holding a failure placeholder instead of a
+// measurement (see ErrCell).
+const errCellPrefix = "ERR("
+
+// ErrCell formats the placeholder a degraded (fail-soft) run renders for
+// a failed grid cell: ERR(reason). Partial tables keep their rows — a
+// long sweep with one bad cell is still a table — and the placeholder
+// marks exactly where the grid degraded.
+func ErrCell(reason string) string { return errCellPrefix + reason + ")" }
+
+// IsErrCell reports whether a cell is a failure placeholder.
+func IsErrCell(cell string) bool { return strings.HasPrefix(cell, errCellPrefix) }
+
+// Degraded reports whether any cell of the table is a failure
+// placeholder, i.e. the table came out of a fail-soft run that lost
+// cells.
+func (t *Table) Degraded() bool { return t.DegradedCells() > 0 }
+
+// DegradedCells counts the failure placeholders in the table.
+func (t *Table) DegradedCells() int {
+	n := 0
+	for _, row := range t.Rows {
+		for _, c := range row {
+			if IsErrCell(c) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // AddRowf appends a row of formatted values: each value is rendered with
 // %v except float64, which uses %.3g.
 func (t *Table) AddRowf(values ...any) {

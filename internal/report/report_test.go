@@ -51,3 +51,34 @@ func TestRenderCSVQuotes(t *testing.T) {
 		t.Fatalf("csv = %q, want %q", b.String(), want)
 	}
 }
+
+func TestErrCellRoundTrip(t *testing.T) {
+	cell := ErrCell("timeout")
+	if cell != "ERR(timeout)" {
+		t.Fatalf("ErrCell = %q", cell)
+	}
+	if !IsErrCell(cell) {
+		t.Error("IsErrCell rejects its own placeholder")
+	}
+	for _, s := range []string{"", "12", "error", "err(x)"} {
+		if IsErrCell(s) {
+			t.Errorf("IsErrCell(%q) = true", s)
+		}
+	}
+}
+
+func TestTableDegraded(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "2")
+	if tb.Degraded() {
+		t.Fatal("clean table reports degraded")
+	}
+	tb.AddRow(ErrCell("panic"), "3")
+	tb.AddRow("4", ErrCell("timeout"))
+	if !tb.Degraded() {
+		t.Fatal("degraded table not detected")
+	}
+	if got := tb.DegradedCells(); got != 2 {
+		t.Fatalf("DegradedCells = %d, want 2", got)
+	}
+}

@@ -7,6 +7,15 @@
 // bit-for-bit regardless of host or scheduling.
 package sim
 
+// DeterminismEpoch versions the simulator's deterministic bit-streams.
+// Any change to how the RNG maps its state to values (or to which values
+// a consumer draws for a given seed) must bump this constant: persisted
+// artifacts keyed on determinism — harness checkpoints, recorded golden
+// tables — embed the epoch so stale results are recomputed instead of
+// silently mixed with new-stream ones. Epoch 2: Intn/Uint64n switched
+// from plain modulo to unbiased rejection sampling.
+const DeterminismEpoch = 2
+
 // RNG is a small, fast, deterministic pseudo-random number generator based
 // on splitmix64. It is not cryptographically secure; it exists so that
 // simulations are reproducible across runs and platforms.
@@ -40,15 +49,34 @@ func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn called with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	return int(r.Uint64n(uint64(n)))
 }
 
-// Uint64n returns a pseudo-random uint64 in [0, n). It panics if n == 0.
+// Uint64n returns an unbiased pseudo-random uint64 in [0, n). It panics
+// if n == 0.
+//
+// Power-of-two n masks a single draw. Otherwise values above the largest
+// multiple of n are rejected and redrawn, so every residue is equally
+// likely — plain modulo over-weights the low residues by (2^64 mod n)
+// draws, a bias that matters for n near 2^64 and, more importantly, makes
+// the stream's correctness depend on the modulus. Rejection redraws are
+// deterministic (a pure function of the generator state), so runs remain
+// reproducible; the switch from modulo is DeterminismEpoch 2.
 func (r *RNG) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("sim: Uint64n called with zero n")
 	}
-	return r.Uint64() % n
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// max is the largest k*n - 1 that fits in 64 bits; values beyond it
+	// would alias low residues.
+	max := ^uint64(0) - (^uint64(0)%n+1)%n
+	v := r.Uint64()
+	for v > max {
+		v = r.Uint64()
+	}
+	return v % n
 }
 
 // Float64 returns a pseudo-random float64 in [0, 1).

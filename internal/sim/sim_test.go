@@ -298,3 +298,73 @@ func TestForkAtStreamsDecorrelated(t *testing.T) {
 		t.Fatalf("ForkAt(0) tracks the parent stream (%d/64 equal draws)", same)
 	}
 }
+
+func TestRNGUint64nPowerOfTwoMasks(t *testing.T) {
+	// Power-of-two bounds consume exactly one draw and equal a masked
+	// Uint64, so power-of-two consumers kept their epoch-1 streams.
+	for _, shift := range []uint{0, 1, 5, 32, 63} {
+		n := uint64(1) << shift
+		a, b := NewRNG(99), NewRNG(99)
+		for i := 0; i < 100; i++ {
+			got := a.Uint64n(n)
+			want := b.Uint64() & (n - 1)
+			if got != want {
+				t.Fatalf("n=%d draw %d: Uint64n = %d, masked Uint64 = %d", n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRNGUint64nMatchesRejectionReference(t *testing.T) {
+	// Reference implementation of the unbiased sampler, kept independent
+	// of the production code: reject draws above the largest multiple of
+	// n. A huge non-power-of-two bound makes rejection near-certain to
+	// occur within a few thousand draws (acceptance ~= 50% per draw).
+	for _, n := range []uint64{3, 1000, 1<<63 + 1, ^uint64(0)} {
+		a, b := NewRNG(7), NewRNG(7)
+		rejected := false
+		for i := 0; i < 4000; i++ {
+			got := a.Uint64n(n)
+			limit := ^uint64(0) - (^uint64(0)%n+1)%n
+			v := b.Uint64()
+			for v > limit {
+				rejected = true
+				v = b.Uint64()
+			}
+			if want := v % n; got != want {
+				t.Fatalf("n=%d draw %d: Uint64n = %d, reference = %d", n, i, got, want)
+			}
+		}
+		if n == 1<<63+1 && !rejected {
+			t.Error("reference sampler never rejected for n=2^63+1; test is vacuous")
+		}
+	}
+}
+
+func TestRNGUint64nBoundsNonPowerOfTwo(t *testing.T) {
+	r := NewRNG(123)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1<<40 + 3, 1<<63 + 5} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGIntnRoughlyUniform(t *testing.T) {
+	// 30k draws over 3 buckets: each residue should land near 10k. Plain
+	// modulo bias for small n is far below this tolerance; the check
+	// guards the rejection loop's bookkeeping, not statistics.
+	r := NewRNG(42)
+	const draws = 30000
+	var buckets [3]int
+	for i := 0; i < draws; i++ {
+		buckets[r.Intn(3)]++
+	}
+	for i, c := range buckets {
+		if c < draws/3-draws/30 || c > draws/3+draws/30 {
+			t.Errorf("bucket %d holds %d of %d draws", i, c, draws)
+		}
+	}
+}
