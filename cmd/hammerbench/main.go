@@ -8,7 +8,7 @@
 // Usage:
 //
 //	hammerbench [-experiment all|e1|..|e10] [-horizon N] [-csv] [-parallel N]
-//	            [-fail-soft] [-retries N] [-cell-timeout 30s] [-resume grid.ckpt]
+//	            [-check] [-fail-soft] [-retries N] [-cell-timeout 30s] [-resume grid.ckpt]
 //	            [-metrics-out bench.json] [-trace-events f -trace-format chrome]
 //	            [-pprof-cpu f] [-pprof-http addr]
 //
@@ -25,6 +25,14 @@
 // every cell simulates its own machine from a fixed seed — so -parallel
 // only changes wall-clock time, which is reported per experiment on
 // stderr to keep -csv output on stdout clean.
+//
+// -check attaches the online invariant auditor (internal/check) to every
+// machine a grid cell builds: row-buffer legality, command ordering,
+// refresh cadence/coverage and charge conservation are verified against
+// an independent shadow model as each cell runs, plus an exact final
+// state comparison. Observer-only (tables stay byte-identical); a
+// violation fails the cell — combine with -fail-soft to render it as
+// ERR(...) instead of aborting the grid.
 //
 // Long grids are fail-soft capable: -fail-soft records per-cell failures
 // (panics included) and finishes the run with ERR(reason) placeholders

@@ -7,7 +7,7 @@
 //
 //	hammersim [-defense none] [-attack double] [-profile ddr4-old]
 //	          [-horizon 4000000] [-tenants 3] [-pages 170] [-stats]
-//	          [-fail-soft] [-retries N] [-cell-timeout 30s]
+//	          [-check] [-fail-soft] [-retries N] [-cell-timeout 30s]
 //	          [-trace-events f -trace-format jsonl|chrome]
 //	          [-metrics-out f.json] [-pprof-cpu f] [-pprof-http addr]
 //
@@ -20,6 +20,14 @@
 // -metrics-out dumps every counter, gauge, per-bank vector and histogram
 // as JSON. Recording is observer-only: results are byte-identical with
 // or without it.
+//
+// -check turns on the online invariant auditor (internal/check): the
+// machine's event stream feeds an independent shadow model that verifies
+// row-buffer legality, DDR command ordering, refresh cadence and
+// coverage, and charge conservation as the run executes, and the final
+// DRAM state bit for bit afterwards. Observer-only — results are
+// byte-identical with or without it — and a violation fails the run
+// with the offending event and a trace of its predecessors.
 //
 // The scenario runs under the harness robustness policy: -retries and
 // -cell-timeout bound a flaky or hung simulation, and with -fail-soft a

@@ -1,0 +1,562 @@
+// Package check is the simulator's correctness layer: an online invariant
+// auditor that consumes the obs event stream and maintains an independent
+// shadow model of DRAM state — row-buffer FSM, per-row charge and ACT
+// counts, the periodic refresh sweep — verifying simulator-wide
+// invariants as events arrive and, at end of run, that the shadow agrees
+// exactly (bit-for-bit on disturbance) with the real module and
+// controller counters.
+//
+// The auditor is a pure observer: it attaches as the first sink of a
+// machine's recorder chain (see core.SetChecking and the -check CLI
+// flag; it is always on under `go test`) and never feeds anything back
+// into the simulation, so results are byte-identical with and without
+// it. Violations are typed check.Violation errors carrying the
+// triggering event and a trace of the most recent events; they surface
+// through core.Machine.CheckInvariants and from there through the
+// harness fail-soft CellError machinery.
+//
+// Invariants verified online (per event):
+//
+//   - row-buffer-fsm: every ACT lands on a precharged bank, every PRE
+//     closes an open row, and each row-hit/empty/conflict classification
+//     matches the shadow row-buffer state;
+//   - command-order: per bank, request-path command cycles (row
+//     classifications and counted ACTs) never decrease;
+//   - trc-spacing: counted ACTs to one bank are at least tRC apart;
+//   - refresh-cadence: REF commands arrive exactly every tREFI;
+//   - ref-issue-order: no REF is issued after a request-path command
+//     with a later cycle (a REF "back-dated" behind work that already
+//     settled means the refresh schedule was applied too late);
+//   - refresh-window-coverage: consecutive sweep recharges of one row
+//     are at most tREFW plus slack apart, including across
+//     AdvanceTo/catchUpRefresh jumps;
+//   - charge-conservation: disturbance accumulates exactly as the blast
+//     radius and distance decay dictate, is zeroed by refreshes, never
+//     goes negative, and every bit flip happens on a row whose shadow
+//     disturbance exceeds the MAC (flip-causality);
+//   - domain-enforcer: the enforcer's violation count matches a shadow
+//     re-derivation of every request's domain/row verdict.
+//
+// End-of-run (Verify): shadow open rows, per-row disturbance (exact
+// float equality) and ACT counts against the module, plus counter
+// agreement (dram.act/pre/ref/flips, mc.acts, mc.domain_violations).
+package check
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hammertime/internal/dram"
+	"hammertime/internal/memctrl"
+	"hammertime/internal/obs"
+)
+
+// Invariant names, used as Violation.Invariant.
+const (
+	InvRowBufferFSM = "row-buffer-fsm"
+	InvCmdOrder     = "command-order"
+	InvTRCSpacing   = "trc-spacing"
+	InvRefCadence   = "refresh-cadence"
+	InvRefOrder     = "ref-issue-order"
+	InvRefWindow    = "refresh-window-coverage"
+	InvCharge       = "charge-conservation"
+	InvFlipCause    = "flip-causality"
+	InvEnforcer     = "domain-enforcer"
+	InvStateMatch   = "state-agreement"
+	InvCounterMatch = "counter-agreement"
+)
+
+// Violation is one invariant violation: which invariant, the event that
+// triggered it (zero-valued for end-of-run state checks), what exactly
+// went wrong, and the most recent events before it (oldest first).
+type Violation struct {
+	Invariant string
+	Event     obs.Event
+	Detail    string
+	Trace     []obs.Event
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %s violated: %s", v.Invariant, v.Detail)
+	if v.Event != (obs.Event{}) {
+		fmt.Fprintf(&b, " [at %s]", fmtEvent(v.Event))
+	}
+	if len(v.Trace) > 0 {
+		b.WriteString("; recent events:")
+		for _, ev := range v.Trace {
+			b.WriteString("\n  ")
+			b.WriteString(fmtEvent(ev))
+		}
+	}
+	return b.String()
+}
+
+func fmtEvent(ev obs.Event) string {
+	return fmt.Sprintf("{%s cycle=%d bank=%d row=%d domain=%d line=%d arg=%d}",
+		ev.Kind, ev.Cycle, ev.Bank, ev.Row, ev.Domain, ev.Line, ev.Arg)
+}
+
+// Config parametrizes an Auditor. Geometry, Timing and Profile must match
+// the audited module's.
+type Config struct {
+	Geometry dram.Geometry
+	Timing   dram.Timing
+	Profile  dram.DisturbanceProfile
+	// MaxViolations bounds the retained violation list (0 means 16);
+	// further violations are counted but dropped.
+	MaxViolations int
+	// TraceDepth is how many recent events each violation carries
+	// (0 means 32).
+	TraceDepth int
+}
+
+// Auditor is the online invariant checker. It implements obs.Sink; use
+// Chain to splice it in front of a user recorder. Not safe for
+// concurrent use — one auditor audits one machine.
+type Auditor struct {
+	geom dram.Geometry
+	tim  dram.Timing
+	prof dram.DisturbanceProfile
+
+	// Shadow DRAM state, mirrored from events.
+	open      []int       // per-bank open row (-1 closed)
+	disturb   [][]float64 // per (bank, row) charge disturbance
+	acts      [][]uint64  // per (bank, row) ACTs since last refresh
+	lastSweep [][]uint64  // per (bank, row) cycle of last sweep recharge
+
+	// Per-bank command ordering.
+	lastCmd []uint64 // cycle of the bank's last request-path command
+	lastACT []uint64 // cycle+1 of the bank's last counted ACT (0 = never)
+	maxCmd  uint64   // max over banks of lastCmd
+
+	// Refresh schedule mirror.
+	nextRef   uint64
+	sweepPtr  int
+	sweepAcc  int
+	sweepDen  int
+	sweepGap  uint64 // max legal gap between sweeps of one row
+	everSwept bool
+
+	// Event counters for end-of-run counter agreement.
+	actsAll     uint64 // every ACT command
+	actsCounted uint64 // counted (Arg=1) ACTs only
+	pres        uint64
+	refs        uint64
+	flips       uint64
+
+	enf     *memctrl.DomainEnforcer
+	enfViol uint64
+
+	ring     []obs.Event
+	ringNext int
+	ringFull bool
+
+	vios    []Violation
+	maxVios int
+	dropped uint64
+}
+
+// New returns an auditor for a module with the given geometry, timing
+// and disturbance profile.
+func New(cfg Config) *Auditor {
+	if cfg.MaxViolations <= 0 {
+		cfg.MaxViolations = 16
+	}
+	if cfg.TraceDepth <= 0 {
+		cfg.TraceDepth = 32
+	}
+	g := cfg.Geometry
+	rows := g.RowsPerBank()
+	a := &Auditor{
+		geom:    g,
+		tim:     cfg.Timing,
+		prof:    cfg.Profile,
+		open:    make([]int, g.Banks),
+		lastCmd: make([]uint64, g.Banks),
+		lastACT: make([]uint64, g.Banks),
+		nextRef: cfg.Timing.TREFI,
+		ring:    make([]obs.Event, cfg.TraceDepth),
+		maxVios: cfg.MaxViolations,
+	}
+	for b := range a.open {
+		a.open[b] = -1
+	}
+	a.disturb = make([][]float64, g.Banks)
+	a.acts = make([][]uint64, g.Banks)
+	a.lastSweep = make([][]uint64, g.Banks)
+	for b := 0; b < g.Banks; b++ {
+		a.disturb[b] = make([]float64, rows)
+		a.acts[b] = make([]uint64, rows)
+		a.lastSweep[b] = make([]uint64, rows)
+	}
+	a.sweepDen = cfg.Timing.RefreshCommandsPerWindow()
+	if a.sweepDen <= 0 {
+		a.sweepDen = 1
+	}
+	// A row is swept once per tREFW; allow two extra tREFI of rounding
+	// slack from the fractional sweep accumulator.
+	a.sweepGap = cfg.Timing.RefreshWindow + 2*cfg.Timing.TREFI
+	return a
+}
+
+// SetEnforcer gives the auditor the controller's domain enforcer so it
+// can shadow-derive every request's verdict. Must be set before events
+// flow to audit the domain-enforcer invariant.
+func (a *Auditor) SetEnforcer(e *memctrl.DomainEnforcer) { a.enf = e }
+
+// Chain returns a recorder that feeds the auditor first and then
+// forwards every event to next (which may be nil). Components should
+// emit into the returned recorder; next's own kind mask still applies
+// to forwarded events.
+func (a *Auditor) Chain(next *obs.Recorder) *obs.Recorder {
+	if next == nil {
+		return obs.NewRecorder(a)
+	}
+	return obs.NewRecorder(a, obs.Forward(next))
+}
+
+// Violations returns the retained violations (oldest first).
+func (a *Auditor) Violations() []Violation { return a.vios }
+
+// Dropped returns how many violations were discarded beyond the bound.
+func (a *Auditor) Dropped() uint64 { return a.dropped }
+
+// Err returns the first online violation as an error, or nil.
+func (a *Auditor) Err() error {
+	if len(a.vios) == 0 {
+		return nil
+	}
+	return &a.vios[0]
+}
+
+func (a *Auditor) violate(inv string, ev obs.Event, format string, args ...any) {
+	if len(a.vios) >= a.maxVios {
+		a.dropped++
+		return
+	}
+	a.vios = append(a.vios, Violation{
+		Invariant: inv,
+		Event:     ev,
+		Detail:    fmt.Sprintf(format, args...),
+		Trace:     a.trace(),
+	})
+}
+
+// trace returns a copy of the recent-event ring, oldest first.
+func (a *Auditor) trace() []obs.Event {
+	if !a.ringFull {
+		out := make([]obs.Event, a.ringNext)
+		copy(out, a.ring[:a.ringNext])
+		return out
+	}
+	out := make([]obs.Event, 0, len(a.ring))
+	out = append(out, a.ring[a.ringNext:]...)
+	out = append(out, a.ring[:a.ringNext]...)
+	return out
+}
+
+// Flush implements obs.Sink (no-op).
+func (*Auditor) Flush() error { return nil }
+
+// Record implements obs.Sink: it updates the shadow model and checks the
+// online invariants.
+func (a *Auditor) Record(ev obs.Event) {
+	switch ev.Kind {
+	case obs.KindACT:
+		a.onACT(ev)
+	case obs.KindPRE:
+		a.onPRE(ev)
+	case obs.KindRowHit, obs.KindRowEmpty, obs.KindRowConflict:
+		a.onClassify(ev)
+	case obs.KindREF:
+		a.onREF(ev)
+	case obs.KindTargetedRefresh:
+		if a.validAddr(ev) {
+			a.refreshRow(ev.Bank, ev.Row)
+		}
+	case obs.KindRefNeighbors:
+		a.onRefNeighbors(ev)
+	case obs.KindSeedDisturb:
+		if a.validAddr(ev) {
+			a.disturb[ev.Bank][ev.Row] = math.Float64frombits(ev.Arg)
+		}
+	case obs.KindBitFlip:
+		a.onFlip(ev)
+	}
+
+	a.ring[a.ringNext] = ev
+	a.ringNext++
+	if a.ringNext == len(a.ring) {
+		a.ringNext = 0
+		a.ringFull = true
+	}
+}
+
+func (a *Auditor) validAddr(ev obs.Event) bool {
+	return a.geom.ValidBank(ev.Bank) && a.geom.ValidRow(ev.Row)
+}
+
+func (a *Auditor) refreshRow(bank, row int) {
+	a.disturb[bank][row] = 0
+	a.acts[bank][row] = 0
+}
+
+func (a *Auditor) onACT(ev obs.Event) {
+	a.actsAll++
+	if !a.validAddr(ev) {
+		a.violate(InvRowBufferFSM, ev, "ACT outside geometry (%d banks x %d rows)",
+			a.geom.Banks, a.geom.RowsPerBank())
+		return
+	}
+	b := ev.Bank
+	if a.open[b] != -1 {
+		a.violate(InvRowBufferFSM, ev, "ACT on bank %d with row %d still open (no PRE)", b, a.open[b])
+	}
+	a.open[b] = ev.Row
+
+	if ev.Arg == 1 {
+		// Counted, controller-issued ACT: ordering, tRC and the per-row
+		// ACT counter apply. Mitigation-internal cures (Arg 0) are
+		// back-dated to REF cycles and skip all three, matching the
+		// module's own bookkeeping.
+		a.actsCounted++
+		a.orderCheck(ev)
+		if last := a.lastACT[b]; last > 0 && ev.Cycle < last-1+a.tim.TRC {
+			a.violate(InvTRCSpacing, ev, "ACTs on bank %d only %d cycles apart, tRC is %d",
+				b, ev.Cycle-(last-1), a.tim.TRC)
+		}
+		a.lastACT[b] = ev.Cycle + 1
+		a.acts[b][ev.Row]++
+	}
+
+	// Replay the electrical effects in the module's exact float order so
+	// the shadow stays bit-identical: self-recharge, then per-distance
+	// neighbor disturbance within the subarray.
+	a.disturb[b][ev.Row] = 0
+	sub := a.geom.SubarrayOf(ev.Row)
+	for dist := 1; dist <= a.prof.BlastRadius; dist++ {
+		amount := a.prof.DisturbanceAt(dist)
+		if amount < 0 {
+			a.violate(InvCharge, ev, "negative disturbance %g at distance %d", amount, dist)
+			continue
+		}
+		for _, victim := range [2]int{ev.Row - dist, ev.Row + dist} {
+			if !a.geom.ValidRow(victim) || a.geom.SubarrayOf(victim) != sub {
+				continue // subarray isolation: disturbance must not cross
+			}
+			a.disturb[b][victim] += amount
+		}
+	}
+}
+
+func (a *Auditor) onPRE(ev obs.Event) {
+	a.pres++
+	if !a.geom.ValidBank(ev.Bank) {
+		a.violate(InvRowBufferFSM, ev, "PRE outside geometry (%d banks)", a.geom.Banks)
+		return
+	}
+	if a.open[ev.Bank] == -1 {
+		a.violate(InvRowBufferFSM, ev, "PRE on bank %d that is already precharged", ev.Bank)
+	}
+	a.open[ev.Bank] = -1
+}
+
+func (a *Auditor) onClassify(ev obs.Event) {
+	if !a.validAddr(ev) {
+		a.violate(InvRowBufferFSM, ev, "classification outside geometry")
+		return
+	}
+	a.orderCheck(ev)
+	open := a.open[ev.Bank]
+	switch ev.Kind {
+	case obs.KindRowHit:
+		if open != ev.Row {
+			a.violate(InvRowBufferFSM, ev, "row-hit on bank %d but shadow open row is %d", ev.Bank, open)
+		}
+	case obs.KindRowEmpty:
+		if open != -1 {
+			a.violate(InvRowBufferFSM, ev, "row-empty on bank %d but shadow open row is %d", ev.Bank, open)
+		}
+	case obs.KindRowConflict:
+		if open == -1 || open == ev.Row {
+			a.violate(InvRowBufferFSM, ev, "row-conflict on bank %d but shadow open row is %d", ev.Bank, open)
+		}
+	}
+	if a.enf != nil && !a.enf.Allowed(ev.Domain, ev.Row) {
+		a.enfViol++
+	}
+}
+
+// orderCheck enforces per-bank cycle monotonicity of request-path
+// commands (classifications and counted ACTs). Mitigation-internal
+// commands are exempt: TRR cures are legitimately back-dated to the REF
+// cycle that triggered them.
+func (a *Auditor) orderCheck(ev obs.Event) {
+	if ev.Cycle < a.lastCmd[ev.Bank] {
+		a.violate(InvCmdOrder, ev, "%s at cycle %d before bank %d's previous command at %d",
+			ev.Kind, ev.Cycle, ev.Bank, a.lastCmd[ev.Bank])
+	}
+	a.lastCmd[ev.Bank] = ev.Cycle
+	if ev.Cycle > a.maxCmd {
+		a.maxCmd = ev.Cycle
+	}
+}
+
+func (a *Auditor) onREF(ev obs.Event) {
+	a.refs++
+	if ev.Cycle != a.nextRef {
+		a.violate(InvRefCadence, ev, "REF at cycle %d, expected %d (tREFI %d): refresh epoch skipped or duplicated",
+			ev.Cycle, a.nextRef, a.tim.TREFI)
+		// Resynchronize on the observed cycle so one slip reports once.
+		a.nextRef = ev.Cycle
+	}
+	a.nextRef += a.tim.TREFI
+	if ev.Cycle <= a.maxCmd && a.maxCmd > 0 {
+		a.violate(InvRefOrder, ev, "REF for cycle %d issued after a command at cycle %d already settled",
+			ev.Cycle, a.maxCmd)
+	}
+
+	// Mirror the module's fractional sweep exactly.
+	rows := a.geom.RowsPerBank()
+	a.sweepAcc += rows
+	for a.sweepAcc >= a.sweepDen {
+		a.sweepAcc -= a.sweepDen
+		for b := 0; b < a.geom.Banks; b++ {
+			if a.everSwept || a.lastSweep[b][a.sweepPtr] > 0 {
+				if gap := ev.Cycle - a.lastSweep[b][a.sweepPtr]; gap > a.sweepGap {
+					a.violate(InvRefWindow, ev, "row (%d,%d) swept %d cycles after its previous sweep, window is %d",
+						b, a.sweepPtr, gap, a.sweepGap)
+				}
+			}
+			a.refreshRow(b, a.sweepPtr)
+			a.lastSweep[b][a.sweepPtr] = ev.Cycle
+		}
+		if a.sweepPtr == rows-1 {
+			a.everSwept = true // every row now has a real lastSweep stamp
+		}
+		a.sweepPtr = (a.sweepPtr + 1) % rows
+	}
+}
+
+func (a *Auditor) onRefNeighbors(ev obs.Event) {
+	if !a.validAddr(ev) {
+		return
+	}
+	sub := a.geom.SubarrayOf(ev.Row)
+	for dist := 1; dist <= int(ev.Arg); dist++ {
+		for _, victim := range [2]int{ev.Row - dist, ev.Row + dist} {
+			if a.geom.ValidRow(victim) && a.geom.SubarrayOf(victim) == sub {
+				a.refreshRow(ev.Bank, victim)
+			}
+		}
+	}
+}
+
+func (a *Auditor) onFlip(ev obs.Event) {
+	a.flips++
+	if !a.validAddr(ev) {
+		a.violate(InvFlipCause, ev, "bit flip outside geometry")
+		return
+	}
+	if d := a.disturb[ev.Bank][ev.Row]; d <= float64(a.prof.MAC) {
+		a.violate(InvFlipCause, ev, "bit flip on row (%d,%d) whose shadow disturbance %g is within the MAC %d",
+			ev.Bank, ev.Row, d, a.prof.MAC)
+	}
+}
+
+// Verify runs the end-of-run agreement checks: the shadow model against
+// the module's actual state, and — when mc is non-nil — event counts
+// against the controller's counters. It returns the first online
+// violation if any occurred, else the first disagreement found, else
+// nil. Verify is idempotent: end-of-run disagreements are re-derived,
+// not accumulated, so it is safe to call repeatedly on a live machine.
+func (a *Auditor) Verify(mod *dram.Module, mc *memctrl.Controller) error {
+	if err := a.Err(); err != nil {
+		return err
+	}
+	if mod != nil {
+		if v := a.stateMismatch(mod); v != nil {
+			return v
+		}
+		if v := a.moduleCounterMismatch(mod); v != nil {
+			return v
+		}
+	}
+	if mc != nil {
+		if v := a.controllerCounterMismatch(mc); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+func (a *Auditor) stateMismatch(mod *dram.Module) *Violation {
+	mismatch := func(format string, args ...any) *Violation {
+		return &Violation{Invariant: InvStateMatch, Detail: fmt.Sprintf(format, args...), Trace: a.trace()}
+	}
+	if g := mod.Geometry(); g != a.geom {
+		return mismatch("auditor geometry %+v differs from module %+v", a.geom, g)
+	}
+	for b := 0; b < a.geom.Banks; b++ {
+		if got := mod.OpenRow(b); got != a.open[b] {
+			return mismatch("bank %d open row: module %d, shadow %d", b, got, a.open[b])
+		}
+		for r := 0; r < a.geom.RowsPerBank(); r++ {
+			if got := mod.Disturbance(b, r); got != a.disturb[b][r] {
+				return mismatch("row (%d,%d) disturbance: module %g, shadow %g", b, r, got, a.disturb[b][r])
+			}
+			if got := mod.ActCount(b, r); got != a.acts[b][r] {
+				return mismatch("row (%d,%d) ACT count: module %d, shadow %d", b, r, got, a.acts[b][r])
+			}
+			if a.disturb[b][r] < 0 {
+				return &Violation{Invariant: InvCharge,
+					Detail: fmt.Sprintf("row (%d,%d) has negative disturbance %g", b, r, a.disturb[b][r])}
+			}
+		}
+	}
+	return nil
+}
+
+func (a *Auditor) moduleCounterMismatch(mod *dram.Module) *Violation {
+	st := mod.Stats()
+	for _, c := range []struct {
+		name string
+		want uint64
+	}{
+		{"dram.act", a.actsAll},
+		{"dram.pre", a.pres},
+		{"dram.ref", a.refs},
+		{"dram.flips", a.flips},
+	} {
+		if got := st.Counter(c.name); got != int64(c.want) {
+			return &Violation{Invariant: InvCounterMatch,
+				Detail: fmt.Sprintf("%s is %d, but %d matching events were recorded", c.name, got, c.want),
+				Trace:  a.trace()}
+		}
+	}
+	if got := mod.FlipCount(); got != a.flips {
+		return &Violation{Invariant: InvCounterMatch,
+			Detail: fmt.Sprintf("module flip count %d, but %d bit-flip events were recorded", got, a.flips)}
+	}
+	return nil
+}
+
+func (a *Auditor) controllerCounterMismatch(mc *memctrl.Controller) *Violation {
+	st := mc.Stats()
+	if got := st.Counter("mc.acts"); got != int64(a.actsCounted) {
+		return &Violation{Invariant: InvCounterMatch,
+			Detail: fmt.Sprintf("mc.acts is %d, but %d counted ACT events were recorded", got, a.actsCounted),
+			Trace:  a.trace()}
+	}
+	if a.enf != nil {
+		if got := st.Counter("mc.domain_violations"); got != int64(a.enfViol) {
+			return &Violation{Invariant: InvEnforcer,
+				Detail: fmt.Sprintf("mc.domain_violations is %d, shadow enforcer derived %d", got, a.enfViol),
+				Trace:  a.trace()}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"hammertime/internal/check"
+	"hammertime/internal/dram"
+	"hammertime/internal/obs"
+)
+
+func testConfig() check.Config {
+	return check.Config{
+		Geometry: dram.DefaultGeometry(),
+		Timing:   dram.DDR4Timing(),
+		Profile:  dram.DDR4Old(),
+	}
+}
+
+// firstViolation asserts exactly which invariant tripped first.
+func firstViolation(t *testing.T, a *check.Auditor, inv string) check.Violation {
+	t.Helper()
+	vs := a.Violations()
+	if len(vs) == 0 {
+		t.Fatalf("expected a %s violation, auditor is clean", inv)
+	}
+	if vs[0].Invariant != inv {
+		t.Fatalf("first violation is %s (%s), want %s", vs[0].Invariant, vs[0].Detail, inv)
+	}
+	if a.Err() == nil {
+		t.Fatal("Err() should surface the violation")
+	}
+	return vs[0]
+}
+
+func TestACTOnOpenBankViolatesFSM(t *testing.T) {
+	a := check.New(testConfig())
+	rec := a.Chain(nil)
+	rec.Emit(obs.Event{Kind: obs.KindACT, Cycle: 10, Bank: 0, Row: 1, Domain: 0, Arg: 1})
+	rec.Emit(obs.Event{Kind: obs.KindACT, Cycle: 100, Bank: 0, Row: 2, Domain: 0, Arg: 1})
+	v := firstViolation(t, a, check.InvRowBufferFSM)
+	if !strings.Contains(v.Detail, "still open") {
+		t.Errorf("detail %q should mention the open row", v.Detail)
+	}
+	if len(v.Trace) == 0 {
+		t.Error("violation should carry the recent-event trace")
+	}
+}
+
+func TestPREOnClosedBankViolatesFSM(t *testing.T) {
+	a := check.New(testConfig())
+	a.Chain(nil).Emit(obs.Event{Kind: obs.KindPRE, Cycle: 5, Bank: 3, Row: -1, Domain: -1})
+	firstViolation(t, a, check.InvRowBufferFSM)
+}
+
+func TestClassificationMismatchesViolateFSM(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  []obs.Event
+	}{
+		{"hit-on-closed", []obs.Event{
+			{Kind: obs.KindRowHit, Cycle: 10, Bank: 0, Row: 5, Domain: 0},
+		}},
+		{"empty-on-open", []obs.Event{
+			{Kind: obs.KindACT, Cycle: 10, Bank: 0, Row: 5, Domain: 0, Arg: 1},
+			{Kind: obs.KindRowEmpty, Cycle: 100, Bank: 0, Row: 6, Domain: 0},
+		}},
+		{"conflict-on-same-row", []obs.Event{
+			{Kind: obs.KindACT, Cycle: 10, Bank: 0, Row: 5, Domain: 0, Arg: 1},
+			{Kind: obs.KindRowConflict, Cycle: 100, Bank: 0, Row: 5, Domain: 0},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := check.New(testConfig())
+			rec := a.Chain(nil)
+			for _, ev := range tc.evs {
+				rec.Emit(ev)
+			}
+			firstViolation(t, a, check.InvRowBufferFSM)
+		})
+	}
+}
+
+func TestTRCSpacingViolation(t *testing.T) {
+	a := check.New(testConfig())
+	rec := a.Chain(nil)
+	rec.Emit(obs.Event{Kind: obs.KindACT, Cycle: 10, Bank: 0, Row: 1, Domain: 0, Arg: 1})
+	rec.Emit(obs.Event{Kind: obs.KindPRE, Cycle: 12, Bank: 0, Row: -1, Domain: -1})
+	// Only 2 cycles after the previous ACT; tRC is 55.
+	rec.Emit(obs.Event{Kind: obs.KindACT, Cycle: 12, Bank: 0, Row: 2, Domain: 0, Arg: 1})
+	firstViolation(t, a, check.InvTRCSpacing)
+}
+
+func TestInternalACTsExemptFromTRCAndCounting(t *testing.T) {
+	a := check.New(testConfig())
+	rec := a.Chain(nil)
+	rec.Emit(obs.Event{Kind: obs.KindACT, Cycle: 10, Bank: 0, Row: 1, Domain: 0, Arg: 1})
+	rec.Emit(obs.Event{Kind: obs.KindPRE, Cycle: 12, Bank: 0, Row: -1, Domain: -1})
+	// A mitigation-internal cure (Arg 0, Domain -1) right after: legal.
+	rec.Emit(obs.Event{Kind: obs.KindACT, Cycle: 12, Bank: 0, Row: 3, Domain: -1})
+	rec.Emit(obs.Event{Kind: obs.KindPRE, Cycle: 12, Bank: 0, Row: -1, Domain: -1})
+	if err := a.Err(); err != nil {
+		t.Fatalf("internal ACT should be exempt from tRC: %v", err)
+	}
+}
+
+func TestCommandOrderViolation(t *testing.T) {
+	a := check.New(testConfig())
+	rec := a.Chain(nil)
+	rec.Emit(obs.Event{Kind: obs.KindRowEmpty, Cycle: 1000, Bank: 2, Row: 1, Domain: 0})
+	rec.Emit(obs.Event{Kind: obs.KindRowHit, Cycle: 500, Bank: 2, Row: 1, Domain: 0})
+	firstViolation(t, a, check.InvCmdOrder)
+}
+
+func TestRefreshCadenceViolation(t *testing.T) {
+	cfg := testConfig()
+	a := check.New(cfg)
+	// First REF lands one cycle late: a skipped/slipped refresh epoch.
+	a.Chain(nil).Emit(obs.Event{Kind: obs.KindREF, Cycle: cfg.Timing.TREFI + 1, Bank: -1, Row: -1, Domain: -1})
+	firstViolation(t, a, check.InvRefCadence)
+}
+
+func TestRefIssueOrderViolation(t *testing.T) {
+	cfg := testConfig()
+	tREFI := cfg.Timing.TREFI
+	a := check.New(cfg)
+	rec := a.Chain(nil)
+	rec.Emit(obs.Event{Kind: obs.KindREF, Cycle: tREFI, Bank: -1, Row: -1, Domain: -1})
+	// A request settles at cycle 3*tREFI...
+	rec.Emit(obs.Event{Kind: obs.KindRowEmpty, Cycle: 3 * tREFI, Bank: 0, Row: 1, Domain: 0})
+	// ...and only afterwards is the REF for 2*tREFI issued (back-dated).
+	rec.Emit(obs.Event{Kind: obs.KindREF, Cycle: 2 * tREFI, Bank: -1, Row: -1, Domain: -1})
+	firstViolation(t, a, check.InvRefOrder)
+}
+
+func TestFlipCausalityViolation(t *testing.T) {
+	a := check.New(testConfig())
+	// A flip on a row with zero shadow disturbance cannot happen.
+	a.Chain(nil).Emit(obs.Event{Kind: obs.KindBitFlip, Cycle: 50, Bank: 1, Row: 7, Domain: 0, Arg: 3})
+	firstViolation(t, a, check.InvFlipCause)
+}
+
+// TestShadowMatchesRealModule drives a real module through a legal
+// command sequence with the auditor chained in and verifies exact
+// end-state agreement (open rows, bitwise disturbance, ACT counts,
+// counters).
+func TestShadowMatchesRealModule(t *testing.T) {
+	cfg := testConfig()
+	mod, err := dram.NewModule(dram.Config{Geometry: cfg.Geometry, Timing: cfg.Timing, Profile: cfg.Profile, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := check.New(cfg)
+	mod.SetRecorder(a.Chain(nil))
+
+	cycle := uint64(10)
+	for i := 0; i < 50; i++ {
+		row := (i * 7) % cfg.Geometry.RowsPerBank()
+		if _, err := mod.Activate(i%4, row, cycle, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := mod.Precharge(i%4, cycle+2); err != nil {
+			t.Fatal(err)
+		}
+		cycle += cfg.Timing.TRC
+	}
+	mod.SeedDisturbance(5, 100, 321.5)
+	if err := mod.RefreshNeighbors(2, 8, 2, cycle); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(mod, nil); err != nil {
+		t.Fatalf("shadow diverged from module: %v", err)
+	}
+}
+
+// TestVerifyCatchesDrift attaches the auditor after the module already
+// has state it never saw; Verify must flag the disagreement.
+func TestVerifyCatchesDrift(t *testing.T) {
+	cfg := testConfig()
+	mod, err := dram.NewModule(dram.Config{Geometry: cfg.Geometry, Timing: cfg.Timing, Profile: cfg.Profile, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mod.Activate(0, 5, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	a := check.New(cfg)
+	mod.SetRecorder(a.Chain(nil))
+	err = a.Verify(mod, nil)
+	if err == nil {
+		t.Fatal("Verify should catch state the auditor never observed")
+	}
+	v, ok := err.(*check.Violation)
+	if !ok {
+		t.Fatalf("Verify error should be a *check.Violation, got %T", err)
+	}
+	if v.Invariant != check.InvStateMatch {
+		t.Fatalf("invariant = %s, want %s", v.Invariant, check.InvStateMatch)
+	}
+	// Verify must be idempotent: same single answer on a second call.
+	if err2 := a.Verify(mod, nil); err2 == nil {
+		t.Fatal("second Verify should still report the drift")
+	}
+}
+
+// TestChainForwards checks that the auditor forwards events to the
+// user's recorder (honoring its mask) while still auditing them.
+func TestChainForwards(t *testing.T) {
+	a := check.New(testConfig())
+	ring := obs.NewRing(8)
+	user := obs.NewRecorder(ring)
+	user.SetKinds(obs.KindACT)
+	rec := a.Chain(user)
+	rec.Emit(obs.Event{Kind: obs.KindACT, Cycle: 10, Bank: 0, Row: 1, Domain: 0, Arg: 1})
+	rec.Emit(obs.Event{Kind: obs.KindPRE, Cycle: 12, Bank: 0, Row: -1, Domain: -1})
+	if got := ring.Total(); got != 1 {
+		t.Fatalf("user recorder saw %d events, want 1 (mask filters PRE)", got)
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("legal sequence should be clean: %v", err)
+	}
+}
+
+func TestViolationListBounded(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxViolations = 4
+	a := check.New(cfg)
+	rec := a.Chain(nil)
+	for i := 0; i < 10; i++ {
+		// Ten PREs on a closed bank: ten violations, four retained.
+		rec.Emit(obs.Event{Kind: obs.KindPRE, Cycle: uint64(i), Bank: 0, Row: -1, Domain: -1})
+	}
+	if got := len(a.Violations()); got != 4 {
+		t.Fatalf("retained %d violations, want 4", got)
+	}
+	if got := a.Dropped(); got != 6 {
+		t.Fatalf("dropped %d violations, want 6", got)
+	}
+}

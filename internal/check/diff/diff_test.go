@@ -1,0 +1,42 @@
+package diff
+
+import (
+	"testing"
+
+	"hammertime/internal/harness"
+)
+
+// TestDenseVsReference exercises the dense-vs-naive oracle over several
+// seeds and controller configurations; any divergence between the dense
+// hot-path state and the sparse reference model fails.
+func TestDenseVsReference(t *testing.T) {
+	cases := []StreamConfig{
+		{Seed: 1, Defense: "none"},
+		{Seed: 2, Defense: "para"},
+		{Seed: 3, Defense: "graphene"},
+		{Seed: 4, Defense: "blockhammer"},
+		{Seed: 5, Defense: "none"},
+		{Seed: 6, Defense: "para"},
+	}
+	for _, cfg := range cases {
+		cfg := cfg
+		t.Run(cfg.Defense+"/"+string('0'+rune(cfg.Seed)), func(t *testing.T) {
+			t.Parallel()
+			if err := DenseVsReference(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSerialVsParallel pins the harness guarantee that worker-pool and
+// serial grid execution render byte-identical tables.
+func TestSerialVsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full attack simulations")
+	}
+	opts := harness.AttackOpts{Horizon: 400_000, Tenants: 2, PagesPerTenant: 60}
+	if err := SerialVsParallel([]string{"none", "para", "trr"}, 4, opts); err != nil {
+		t.Fatal(err)
+	}
+}

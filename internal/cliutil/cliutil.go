@@ -1,8 +1,8 @@
 // Package cliutil holds the observability and robustness surface shared
 // by the CLI tools: event-trace flags (-trace-events/-trace-format),
 // machine-readable metrics output (-metrics-out), opt-in pprof profiling
-// (-pprof-cpu/-pprof-http), and the fail-soft/resume flags
-// (-fail-soft/-retries/-cell-timeout/-resume).
+// (-pprof-cpu/-pprof-http), the online invariant auditor (-check), and
+// the fail-soft/resume flags (-fail-soft/-retries/-cell-timeout/-resume).
 package cliutil
 
 import (
@@ -15,6 +15,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"hammertime/internal/core"
 	"hammertime/internal/harness"
 	"hammertime/internal/obs"
 )
@@ -37,12 +38,14 @@ func (f *ObsFlags) Register() {
 	flag.StringVar(&f.PprofHTTP, "pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 }
 
-// RobustFlags collects the fail-soft/resume command-line options.
+// RobustFlags collects the fail-soft/resume/correctness command-line
+// options.
 type RobustFlags struct {
 	FailSoft    bool
 	Retries     int
 	CellTimeout time.Duration
 	Resume      string
+	Check       bool
 }
 
 // Register installs the flags on the default flag set.
@@ -51,6 +54,7 @@ func (f *RobustFlags) Register() {
 	flag.IntVar(&f.Retries, "retries", 0, "re-run a failed experiment cell up to this many extra times")
 	flag.DurationVar(&f.CellTimeout, "cell-timeout", 0, "per-cell wall-clock deadline, e.g. 30s (0 = none)")
 	flag.StringVar(&f.Resume, "resume", "", "checkpoint file: completed cells are appended there and restored on rerun")
+	flag.BoolVar(&f.Check, "check", false, "enable the online invariant auditor: every machine verifies row-buffer/refresh/charge invariants as it runs (observer-only; a violation fails the cell)")
 }
 
 // Apply installs the flags' policy, cell-event observer, and checkpoint
@@ -71,11 +75,13 @@ func (f *RobustFlags) Apply(rec *obs.Recorder) (cleanup func() error, err error)
 		CellTimeout: f.CellTimeout,
 	})
 	harness.SetGridObserver(rec)
+	core.SetChecking(f.Check)
 	var ck *harness.Checkpoint
 	restore := func() error {
 		harness.SetPolicy(harness.Policy{})
 		harness.SetGridObserver(nil)
 		harness.SetCheckpoint(nil)
+		core.SetChecking(false)
 		if ck != nil {
 			closeErr := ck.Close()
 			ck = nil

@@ -1,0 +1,18 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+var checking atomic.Bool
+
+// SetChecking enables or disables the online invariant auditor
+// (internal/check) for machines built afterwards — the -check CLI flag.
+// Machines already built are unaffected.
+func SetChecking(on bool) { checking.Store(on) }
+
+// CheckingEnabled reports whether newly-built machines get an auditor
+// attached: enabled explicitly via SetChecking, and always under
+// `go test` so every test run audits itself.
+func CheckingEnabled() bool { return checking.Load() || testing.Testing() }

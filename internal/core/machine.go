@@ -10,6 +10,7 @@ import (
 
 	"hammertime/internal/addr"
 	"hammertime/internal/cache"
+	"hammertime/internal/check"
 	"hammertime/internal/dram"
 	"hammertime/internal/hostos"
 	"hammertime/internal/memctrl"
@@ -170,6 +171,7 @@ type Machine struct {
 
 	daemons []Agent
 	rec     *obs.Recorder
+	aud     *check.Auditor
 
 	// Flip accounting (attributed via the kernel's ownership tables).
 	flips           uint64
@@ -332,6 +334,19 @@ func NewMachine(spec MachineSpec) (*Machine, error) {
 		byAggressor: make(map[int]uint64),
 	}
 	mod.SetFlipObserver(m.onFlip)
+	if CheckingEnabled() {
+		m.aud = check.New(check.Config{
+			Geometry: spec.Geometry,
+			Timing:   spec.Timing,
+			Profile:  spec.Profile,
+		})
+		if enforcer != nil {
+			m.aud.SetEnforcer(enforcer)
+		}
+		// Attach from cycle 0 so setup traffic, direct controller driving
+		// and seeded disturbance are all in the shadow model.
+		m.SetRecorder(nil)
+	}
 	return m, nil
 }
 
@@ -344,14 +359,39 @@ func NewMachine(spec MachineSpec) (*Machine, error) {
 // byte-identical with or without it.
 func (m *Machine) SetRecorder(r *obs.Recorder) {
 	m.rec = r
-	m.DRAM.SetRecorder(r)
-	m.MC.SetRecorder(r)
-	m.Kernel.SetRecorder(r)
-	m.Cache.SetRecorder(r, m.MC.Now)
+	eff := r
+	if m.aud != nil {
+		// The invariant auditor stays first in the chain whatever the
+		// user attaches or detaches; it forwards to r (mask-filtered).
+		eff = m.aud.Chain(r)
+	}
+	m.DRAM.SetRecorder(eff)
+	m.MC.SetRecorder(eff)
+	m.Kernel.SetRecorder(eff)
+	m.Cache.SetRecorder(eff, m.MC.Now)
 }
 
-// Recorder returns the machine's event recorder (nil when detached).
+// Recorder returns the user-attached event recorder (nil when detached).
+// The invariant auditor's internal chaining is not visible here.
 func (m *Machine) Recorder() *obs.Recorder { return m.rec }
+
+// Auditor returns the machine's invariant auditor, or nil when checking
+// is disabled.
+func (m *Machine) Auditor() *check.Auditor { return m.aud }
+
+// CheckInvariants verifies the auditor's online invariants and the
+// end-of-run shadow/state agreement. It is a no-op (nil) when checking
+// is disabled. Run calls it automatically at the end of every run;
+// experiments that drive the controller directly call it themselves.
+func (m *Machine) CheckInvariants() error {
+	if m.aud == nil {
+		return nil
+	}
+	if err := m.aud.Verify(m.DRAM, m.MC); err != nil {
+		return fmt.Errorf("core: invariant check: %w", err)
+	}
+	return nil
+}
 
 // onFlip attributes every bit flip to aggressor and victim domains. The
 // aggressor domain is known exactly: the memory controller tags each

@@ -69,6 +69,9 @@ func (m *Machine) Run(agents []Agent, horizon uint64) (RunResult, error) {
 		next[idx] = n
 	}
 	m.MC.AdvanceTo(horizon)
+	if err := m.CheckInvariants(); err != nil {
+		return RunResult{}, err
+	}
 
 	res := RunResult{
 		Horizon:    horizon,

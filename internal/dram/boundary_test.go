@@ -1,0 +1,174 @@
+package dram
+
+import "testing"
+
+// boundaryModule builds a module with a wide blast radius and a MAC high
+// enough that boundary tests never flip bits.
+func boundaryModule(t *testing.T) *Module {
+	t.Helper()
+	m, err := NewModule(Config{
+		Profile: DisturbanceProfile{Name: "boundary", MAC: 1 << 30, BlastRadius: 3, DistanceDecay: 0.5, FlipProb: 0.001},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestBlastRadiusClampedAtBankEdges pins the disturbance clamp at the
+// module's physical edges: an aggressor at row 0 (or the last row) only
+// disturbs the neighbors that exist, and no out-of-range row leaks
+// charge (audited for the invariant-auditor work; the clamping was
+// found correct, this pins it).
+func TestBlastRadiusClampedAtBankEdges(t *testing.T) {
+	m := boundaryModule(t)
+	g := m.Geometry()
+	last := g.RowsPerBank() - 1
+
+	if _, err := m.Activate(0, 0, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	for dist := 1; dist <= 3; dist++ {
+		want := m.Profile().DisturbanceAt(dist)
+		if got := m.Disturbance(0, dist); got != want {
+			t.Errorf("row %d after ACT on row 0: disturbance %g, want %g", dist, got, want)
+		}
+	}
+	if got := m.Disturbance(0, 0); got != 0 {
+		t.Errorf("aggressor row 0 should be recharged by its own ACT, has %g", got)
+	}
+	// Negative rows don't exist; the accessor reports 0 for them and the
+	// total disturbed charge must equal the one-sided sum.
+	if got := m.Disturbance(0, -1); got != 0 {
+		t.Errorf("out-of-range row reports disturbance %g", got)
+	}
+
+	if err := m.Precharge(0, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Activate(0, last, 30, 0); err != nil {
+		t.Fatal(err)
+	}
+	for dist := 1; dist <= 3; dist++ {
+		want := m.Profile().DisturbanceAt(dist)
+		if got := m.Disturbance(0, last-dist); got != want {
+			t.Errorf("row %d after ACT on last row: disturbance %g, want %g", last-dist, got, want)
+		}
+	}
+	if got := m.Disturbance(0, last); got != 0 {
+		t.Errorf("aggressor last row should be recharged, has %g", got)
+	}
+}
+
+// TestBlastRadiusClampedAtSubarrayBoundary pins subarray isolation: an
+// aggressor on the last row of a subarray disturbs nothing across the
+// boundary, for both the ACT path and the REF_NEIGHBORS command.
+func TestBlastRadiusClampedAtSubarrayBoundary(t *testing.T) {
+	m := boundaryModule(t)
+	g := m.Geometry()
+	edge := g.RowsPerSubarray - 1 // last row of subarray 0
+
+	if _, err := m.Activate(2, edge, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	for dist := 1; dist <= 3; dist++ {
+		want := m.Profile().DisturbanceAt(dist)
+		if got := m.Disturbance(2, edge-dist); got != want {
+			t.Errorf("same-subarray victim %d: disturbance %g, want %g", edge-dist, got, want)
+		}
+		if got := m.Disturbance(2, edge+dist); got != 0 {
+			t.Errorf("cross-subarray row %d disturbed by %g; isolation must clamp", edge+dist, got)
+		}
+	}
+
+	// REF_NEIGHBORS on the edge row must likewise only refresh within the
+	// subarray: charge seeded across the boundary survives.
+	m.SeedDisturbance(2, edge-1, 17)
+	m.SeedDisturbance(2, edge+1, 23)
+	if err := m.RefreshNeighbors(2, edge, 3, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Disturbance(2, edge-1); got != 0 {
+		t.Errorf("same-subarray victim not refreshed: %g", got)
+	}
+	if got := m.Disturbance(2, edge+1); got != 23 {
+		t.Errorf("cross-subarray row %d was refreshed across the boundary (disturbance %g, want 23)", edge+1, got)
+	}
+}
+
+// TestECCWideLineFlips is the regression test for the ECC check-bit
+// panic on wide lines: with LineBytes > 64 the flip bit space must clamp
+// the check-byte range to the 8 words the ECC store actually protects
+// instead of indexing past it.
+func TestECCWideLineFlips(t *testing.T) {
+	g := DefaultGeometry()
+	g.LineBytes = 128
+	m, err := NewModule(Config{
+		Geometry: g,
+		Profile:  DisturbanceProfile{Name: "ecc-wide", MAC: 16, BlastRadius: 1, DistanceDecay: 0.5, FlipProb: 1},
+		ECC:      true,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := uint64(0)
+	for i := 0; i < 200; i++ {
+		row := 6 + (i % 2 * 2) // alternate rows 6 and 8; row 7 is the victim
+		if _, err := m.Activate(0, row, cycle, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Precharge(0, cycle+2); err != nil {
+			t.Fatal(err)
+		}
+		cycle += m.Timing().TRC
+	}
+	if m.FlipCount() == 0 {
+		t.Fatal("wide-line ECC run produced no flips; the regression is not exercised")
+	}
+	dataBits := g.LineBytes * 8
+	checkBits := 64 // at most 8 protected words' check bytes
+	for _, f := range m.Flips() {
+		if f.Bit < 0 || f.Bit >= dataBits+checkBits {
+			t.Fatalf("flip bit %d outside the protected space [0,%d)", f.Bit, dataBits+checkBits)
+		}
+	}
+}
+
+// TestTRRCureClosesBank is the regression test for the cure-ACT leak:
+// a CureWithACT TRR mitigation activates victims at REF time and must
+// leave the bank precharged afterwards — it must never adopt a row the
+// controller believes is closed (or silently close a row the controller
+// believes is open without a PRE in the event stream).
+func TestTRRCureClosesBank(t *testing.T) {
+	m, err := NewModule(Config{
+		Profile: DDR4Old(),
+		TRR:     &TRRConfig{TrackerEntries: 4, MitigationsPerREF: 2, RefreshRadius: 1, CureThreshold: 4, CureWithACT: true},
+		Seed:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := uint64(0)
+	for i := 0; i < 16; i++ {
+		if _, err := m.Activate(0, 10, cycle, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Precharge(0, cycle+2); err != nil {
+			t.Fatal(err)
+		}
+		cycle += m.Timing().TRC
+	}
+	// Leave a row open across the REF so the cure path must PRE it first.
+	if _, err := m.Activate(0, 40, cycle, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Refresh(cycle + m.Timing().TRC)
+	if m.TRRStats() == 0 {
+		t.Fatal("TRR never cured; the regression is not exercised")
+	}
+	if got := m.OpenRow(0); got != -1 {
+		t.Fatalf("bank 0 open row is %d after a cure-with-ACT REF; cures must leave the bank precharged", got)
+	}
+}

@@ -126,7 +126,7 @@ func TestActivateOpensRow(t *testing.T) {
 	if m.OpenRow(0) != 5 {
 		t.Fatalf("open row = %d, want 5", m.OpenRow(0))
 	}
-	if err := m.Precharge(0); err != nil {
+	if err := m.Precharge(0, 1); err != nil {
 		t.Fatal(err)
 	}
 	if m.OpenRow(0) != -1 {

@@ -3,6 +3,7 @@ package dram
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 
 	"hammertime/internal/ecc"
@@ -225,7 +226,9 @@ func (m *Module) Activate(bankIdx, row int, cycle uint64, actorDomain int) ([]Fl
 	m.stats.Inc("dram.act")
 	m.actVec[bankIdx]++
 	m.lastCycle = cycle
-	m.rec.Emit(obs.Event{Kind: obs.KindACT, Cycle: cycle, Bank: bankIdx, Row: row, Domain: actorDomain})
+	// Arg=1 marks a counted, controller-issued ACT (as opposed to a
+	// mitigation-internal cure, which carries Arg=0 and Domain=-1).
+	m.rec.Emit(obs.Event{Kind: obs.KindACT, Cycle: cycle, Bank: bankIdx, Row: row, Domain: actorDomain, Arg: 1})
 	b.acts[row]++
 	// An ACT recharges the activated row as a side effect (§2.1).
 	b.disturb[row] = 0
@@ -255,6 +258,13 @@ func (m *Module) activateInternal(bankIdx, row int, cycle uint64) ([]FlipEvent, 
 		return nil, fmt.Errorf("dram: internal activate: bank %d row %d out of range", bankIdx, row)
 	}
 	b := &m.banks[bankIdx]
+	// A cure ACT cannot land on a bank with an open row — the engine
+	// precharges first, and again after the cure, so the row buffer is
+	// left as the controller expects (closed) rather than silently
+	// holding the cure victim.
+	if b.openRow >= 0 {
+		m.Precharge(bankIdx, cycle)
+	}
 	b.openRow = row
 	m.stats.Inc("dram.act")
 	m.actVec[bankIdx]++
@@ -272,6 +282,7 @@ func (m *Module) activateInternal(bankIdx, row int, cycle uint64) ([]FlipEvent, 
 			flips = append(flips, m.disturbRow(bankIdx, victim, row, amount, cycle, -1)...)
 		}
 	}
+	m.Precharge(bankIdx, cycle)
 	return flips, nil
 }
 
@@ -301,8 +312,14 @@ func (m *Module) disturbRow(bankIdx, victim, aggressor int, amount float64, cycl
 	}
 	bitSpace := m.geom.LineBytes * 8
 	if m.eccOn {
-		// Check bits are cells too: one check byte per 64-bit word.
-		bitSpace += m.geom.LineBytes / 8 * 8
+		// Check bits are cells too: one check byte per 64-bit word, but
+		// the check store holds at most 8 words' worth (applyFlip and
+		// WriteLine only protect the first 8 words of wide lines).
+		checkBytes := m.geom.LineBytes / 8
+		if checkBytes > 8 {
+			checkBytes = 8
+		}
+		bitSpace += checkBytes * 8
 	}
 	flips := make([]FlipEvent, 0, n)
 	for i := 0; i < n; i++ {
@@ -378,14 +395,16 @@ func (m *Module) materialize(key uint64) {
 	}
 }
 
-// Precharge issues a PRE command, closing the bank's open row.
-func (m *Module) Precharge(bankIdx int) error {
+// Precharge issues a PRE command at the given cycle, closing the bank's
+// open row.
+func (m *Module) Precharge(bankIdx int, cycle uint64) error {
 	if !m.geom.ValidBank(bankIdx) {
 		return fmt.Errorf("dram: precharge: bank %d out of range [0,%d)", bankIdx, m.geom.Banks)
 	}
 	m.banks[bankIdx].openRow = -1
 	m.stats.Inc("dram.pre")
-	m.rec.Emit(obs.Event{Kind: obs.KindPRE, Cycle: m.lastCycle, Bank: bankIdx, Row: -1, Domain: -1})
+	m.lastCycle = cycle
+	m.rec.Emit(obs.Event{Kind: obs.KindPRE, Cycle: cycle, Bank: bankIdx, Row: -1, Domain: -1})
 	return nil
 }
 
@@ -487,8 +506,21 @@ func (m *Module) Disturbance(bankIdx, row int) float64 {
 // exists for experiments that need a specific charge state (e.g. E7's
 // "victim row open while disturbed" hazard) without replaying the access
 // history; it is not part of the hardware model and generates no flips.
+// The injection is emitted as a KindSeedDisturb event so shadow models
+// (the invariant auditor) see it.
 func (m *Module) SeedDisturbance(bankIdx, row int, amount float64) {
+	if !m.geom.ValidBank(bankIdx) || !m.geom.ValidRow(row) {
+		return
+	}
 	m.banks[bankIdx].disturb[row] = amount
+	m.rec.Emit(obs.Event{
+		Kind:   obs.KindSeedDisturb,
+		Cycle:  m.lastCycle,
+		Bank:   bankIdx,
+		Row:    row,
+		Domain: -1,
+		Arg:    math.Float64bits(amount),
+	})
 }
 
 // ActCount returns the number of ACTs of a row since its last refresh.

@@ -172,6 +172,11 @@ func runE7(method E7Method, victimOpen bool) (E7Result, error) {
 		return E7Result{}, fmt.Errorf("harness: unknown E7 method %q", method)
 	}
 
+	// E7 drives the controller directly (no m.Run), so verify the
+	// invariant auditor's shadow state explicitly before reporting.
+	if err := m.CheckInvariants(); err != nil {
+		return E7Result{}, err
+	}
 	return E7Result{
 		Method:       method,
 		BankState:    state,

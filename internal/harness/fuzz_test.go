@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzCheckpointDecode feeds arbitrary bytes to the checkpoint loader:
+// it must never panic, must trim any garbage tail, and a second open of
+// what it left behind must load exactly the same records.
+func FuzzCheckpointDecode(f *testing.F) {
+	f.Add([]byte(`{"key":"9f86d081deadbeef","grid":"e1","cell":0,"result":3}` + "\n"))
+	f.Add([]byte(`{"key":"a","grid":"e1","cell":1,"result":{"x":1}}` + "\n" + `{"key":"b","gr`))
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte{0xff, 0xfe, 0x00, '\n'})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "ck.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck, err := OpenCheckpoint(path)
+		if err != nil {
+			t.Fatalf("open must tolerate arbitrary bytes, got: %v", err)
+		}
+		n := ck.Loaded()
+		if err := ck.Close(); err != nil {
+			t.Fatalf("close after load: %v", err)
+		}
+		ck2, err := OpenCheckpoint(path)
+		if err != nil {
+			t.Fatalf("reopen of trimmed file: %v", err)
+		}
+		if got := ck2.Loaded(); got != n {
+			t.Fatalf("reopen loaded %d records, first open loaded %d", got, n)
+		}
+		ck2.Close()
+	})
+}

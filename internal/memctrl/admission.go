@@ -52,6 +52,12 @@ type RateLimiter struct {
 // enforcing maxActs per window cycles, beginning to throttle once a row
 // passes watch (0 means maxActs/2).
 func NewRateLimiter(geom dram.Geometry, maxActs, window, watch uint64) *RateLimiter {
+	if maxActs == 0 {
+		// A zero budget would divide by zero in ObserveACT's gap
+		// computation; one ACT per window is the strictest meaningful
+		// setting.
+		maxActs = 1
+	}
 	if watch == 0 {
 		watch = maxActs / 2
 	}
@@ -108,24 +114,35 @@ func (l *RateLimiter) ObserveACT(bank, row int, start uint64) {
 // mirroring BlockHammer's dual-filter scheme) rather than reset, so an
 // attacker cannot ride window edges.
 func (l *RateLimiter) rotate(now uint64) {
+	// A sub-cycle half-window (Window < 2) must still advance the epoch,
+	// or the loop below never terminates.
+	half := l.Window / 2
+	if half == 0 {
+		half = 1
+	}
 	if l.epochEnd == 0 {
-		l.epochEnd = l.Window / 2
+		l.epochEnd = half
 	}
 	for now >= l.epochEnd {
-		if l.active > 0 {
-			for k, c := range l.counts {
-				switch {
-				case c == 0:
-				case c <= 1:
-					l.counts[k] = 0
-					l.nextAllow[k] = 0
-					l.active--
-				default:
-					l.counts[k] = c / 2
-				}
+		if l.active == 0 {
+			// Nothing to halve: every remaining epoch boundary up to now
+			// is an identity, so skip them all at once instead of
+			// iterating O(idle-gap / half-window) times.
+			l.epochEnd += ((now-l.epochEnd)/half + 1) * half
+			return
+		}
+		for k, c := range l.counts {
+			switch {
+			case c == 0:
+			case c <= 1:
+				l.counts[k] = 0
+				l.nextAllow[k] = 0
+				l.active--
+			default:
+				l.counts[k] = c / 2
 			}
 		}
-		l.epochEnd += l.Window / 2
+		l.epochEnd += half
 	}
 }
 

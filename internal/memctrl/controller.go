@@ -208,6 +208,41 @@ func (c *Controller) catchUpRefresh(cycle uint64) {
 	}
 }
 
+// Commands settle schedules either always activate (the refresh
+// instruction), never activate (REF_NEIGHBORS), or activate exactly when
+// the target row is not already open (ordinary requests, which pass the
+// row itself).
+const (
+	settleACTAlways = -1
+	settleNoACT     = -2
+)
+
+// settle advances start past every constraint gating a command on the
+// bank, iterating to a fixpoint: REF commands scheduled at or before the
+// issue cycle are issued first (so a throttle or bank-busy delay that
+// crosses a tREFI boundary never causes the REF to be issued after — and
+// back-dated behind — the delayed command), then the bank-busy window
+// applies, then tRC spacing from the bank's last ACT when the command
+// would activate. Each lift can push start across another refresh
+// boundary, hence the loop; it terminates because tRFC < tREFI.
+func (c *Controller) settle(bank, actRow int, start uint64) uint64 {
+	for {
+		prev := start
+		c.catchUpRefresh(start)
+		if br := c.bankReady[bank]; br > start {
+			start = br
+		}
+		if actRow != settleNoACT && (actRow == settleACTAlways || c.dram.OpenRow(bank) != actRow) {
+			if last := c.lastACT[bank]; last > 0 && start < last-1+c.timing.TRC {
+				start = last - 1 + c.timing.TRC
+			}
+		}
+		if start == prev {
+			return start
+		}
+	}
+}
+
 // ServeRequest services one request arriving at the given cycle and
 // returns scheduling details. Bit flips caused by any activation are
 // visible through the DRAM module's flip observer and counters.
@@ -223,12 +258,9 @@ func (c *Controller) ServeRequest(req Request, arrival uint64) (ServiceResult, e
 		}
 	}
 
-	open := c.dram.OpenRow(d.Bank)
-	wouldAct := open != d.Row
-
 	start := arrival
 	if c.admission != nil {
-		delay := c.admission.Admit(req, d.Bank, d.Row, wouldAct, arrival)
+		delay := c.admission.Admit(req, d.Bank, d.Row, c.dram.OpenRow(d.Bank) != d.Row, arrival)
 		if delay > 0 {
 			c.stats.Add("mc.throttle_cycles", int64(delay))
 			c.stats.Inc("mc.throttled")
@@ -236,13 +268,16 @@ func (c *Controller) ServeRequest(req Request, arrival uint64) (ServiceResult, e
 			start += delay
 		}
 	}
-	if br := c.bankReady[d.Bank]; br > start {
-		start = br
-	}
-
 	if res.ThrottleDelay > 0 {
 		c.rec.Emit(obs.Event{Kind: obs.KindThrottle, Cycle: arrival, Bank: d.Bank, Row: d.Row, Domain: req.Domain, Arg: res.ThrottleDelay})
 	}
+
+	// Settle the issue cycle, then classify the row-buffer outcome
+	// against the post-refresh state (a TRR cure during a caught-up REF
+	// can close or change the open row).
+	start = c.settle(d.Bank, d.Row, start)
+	open := c.dram.OpenRow(d.Bank)
+	wouldAct := open != d.Row
 
 	var lat uint64
 	switch {
@@ -262,12 +297,13 @@ func (c *Controller) ServeRequest(req Request, arrival uint64) (ServiceResult, e
 	}
 
 	if wouldAct {
-		// Respect tRC: back-to-back ACTs to one bank cannot be closer
-		// than TRC — this bounds the hammer rate.
-		if last := c.lastACT[d.Bank]; last > 0 && start < last-1+c.timing.TRC {
-			next := last - 1 + c.timing.TRC
-			lat += next - start
-			start = next
+		if open >= 0 {
+			// The conflict path really closes the old row: issue the PRE
+			// so DRAM row-buffer state and the event stream match the
+			// RowMissLatency (PRE+ACT+CAS) the controller charges.
+			if err := c.dram.Precharge(d.Bank, start); err != nil {
+				return ServiceResult{}, err
+			}
 		}
 		if err := c.activate(d.Bank, d.Row, start, req); err != nil {
 			return ServiceResult{}, err
@@ -283,11 +319,15 @@ func (c *Controller) ServeRequest(req Request, arrival uint64) (ServiceResult, e
 	completion := dataReady + c.burst
 	c.busReady = completion
 
-	c.bankReady[d.Bank] = start + lat
+	// Merge rather than overwrite: activate's mitigation hooks (PARA,
+	// Graphene) may already have charged the bank busy past start+lat.
+	if br := start + lat; br > c.bankReady[d.Bank] {
+		c.bankReady[d.Bank] = br
+	}
 	if c.openPage {
 		// Row stays open for locality.
 	} else {
-		if err := c.dram.Precharge(d.Bank); err != nil {
+		if err := c.dram.Precharge(d.Bank, start+lat); err != nil {
 			return ServiceResult{}, err
 		}
 		c.bankReady[d.Bank] += c.timing.TRP
@@ -381,29 +421,29 @@ func (c *Controller) RefreshInstruction(line uint64, autoPrecharge bool, domain 
 	}
 	c.catchUpRefresh(now)
 	d := c.mapper.Map(line)
-
-	start := now
-	if br := c.bankReady[d.Bank]; br > start {
-		start = br
-	}
-	if last := c.lastACT[d.Bank]; last > 0 && start < last-1+c.timing.TRC {
-		start = last - 1 + c.timing.TRC
-	}
+	start := c.settle(d.Bank, settleACTAlways, now)
 
 	lat := c.timing.TRP + c.timing.TRCD // PRE + ACT settle
-	if err := c.dram.Precharge(d.Bank); err != nil {
-		return ServiceResult{}, err
+	if c.dram.OpenRow(d.Bank) >= 0 {
+		// Only an actually-open bank gets the leading PRE command; the
+		// charged latency stays the conservative PRE+ACT worst case
+		// either way (software cannot see the buffer state, §4.3).
+		if err := c.dram.Precharge(d.Bank, start); err != nil {
+			return ServiceResult{}, err
+		}
 	}
 	if err := c.activate(d.Bank, d.Row, start, Request{Line: line, Domain: domain, Source: Source{Kind: SourceKernel}}); err != nil {
 		return ServiceResult{}, err
 	}
 	if autoPrecharge {
-		if err := c.dram.Precharge(d.Bank); err != nil {
+		if err := c.dram.Precharge(d.Bank, start+lat); err != nil {
 			return ServiceResult{}, err
 		}
 		lat += c.timing.TRP
 	}
-	c.bankReady[d.Bank] = start + lat
+	if br := start + lat; br > c.bankReady[d.Bank] {
+		c.bankReady[d.Bank] = br
+	}
 	completion := start + lat
 	if completion > c.now {
 		c.now = completion
@@ -456,10 +496,7 @@ func (c *Controller) RefreshNeighborsCmd(line uint64, radius int, domain int, no
 	}
 	c.catchUpRefresh(now)
 	d := c.mapper.Map(line)
-	start := now
-	if br := c.bankReady[d.Bank]; br > start {
-		start = br
-	}
+	start := c.settle(d.Bank, settleNoACT, now)
 	if err := c.dram.RefreshNeighbors(d.Bank, d.Row, radius, start); err != nil {
 		return ServiceResult{}, err
 	}

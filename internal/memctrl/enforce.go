@@ -63,3 +63,11 @@ func (e *DomainEnforcer) Check(domain, row int) bool {
 
 // Violations returns how many checks failed.
 func (e *DomainEnforcer) Violations() uint64 { return e.violations }
+
+// Allowed is the side-effect-free form of Check: it reports whether the
+// access would pass without counting a violation. Shadow models (the
+// invariant auditor) use it to re-derive the enforcer's verdicts.
+func (e *DomainEnforcer) Allowed(domain, row int) bool {
+	group, ok := e.groupOf[domain]
+	return !ok || e.part.GroupOfRow(row) == group
+}

@@ -68,6 +68,12 @@ const (
 	// KindCellFail is an experiment-grid cell exhausting its attempts and
 	// being recorded as failed (Line=cell index, Arg=attempts made).
 	KindCellFail
+	// KindSeedDisturb is a direct (test/experiment) injection of
+	// disturbance into a row, bypassing the ACT path (Bank, Row,
+	// Arg=math.Float64bits of the new disturbance level). Emitted so
+	// shadow models — the invariant auditor in internal/check — stay in
+	// sync with the module.
+	KindSeedDisturb
 
 	numKinds
 )
@@ -92,6 +98,7 @@ var kindNames = [numKinds]string{
 	KindDefenseTrigger:  "defense-trigger",
 	KindCellRetry:       "cell-retry",
 	KindCellFail:        "cell-fail",
+	KindSeedDisturb:     "seed-disturb",
 }
 
 // String returns the event kind's stable wire name.
@@ -197,3 +204,14 @@ func (r *Recorder) Flush() error {
 	}
 	return first
 }
+
+// Forward returns a sink that re-emits every event into r, honoring r's
+// own kind mask. It lets one recorder be chained behind another — e.g.
+// the invariant auditor sits first and forwards to the user's recorder.
+// Flush is a no-op: the forwarded-to recorder's owner flushes it.
+func Forward(r *Recorder) Sink { return forwardSink{r} }
+
+type forwardSink struct{ r *Recorder }
+
+func (f forwardSink) Record(ev Event) { f.r.Emit(ev) }
+func (f forwardSink) Flush() error    { return nil }

@@ -231,7 +231,7 @@ func (c *ChromeTrace) Record(ev Event) {
 func (c *ChromeTrace) route(ev Event) (pid, tid int, track string) {
 	switch ev.Kind {
 	case KindACT, KindPRE, KindTargetedRefresh, KindRefNeighbors,
-		KindRowHit, KindRowEmpty, KindRowConflict, KindREF:
+		KindRowHit, KindRowEmpty, KindRowConflict, KindREF, KindSeedDisturb:
 		if ev.Bank < 0 {
 			return ctPidDRAM, 0, "rank"
 		}
