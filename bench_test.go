@@ -6,6 +6,7 @@
 package hammertime
 
 import (
+	"context"
 	"testing"
 
 	"hammertime/internal/addr"
@@ -25,7 +26,7 @@ import (
 func BenchmarkE1ProtectionMatrix(b *testing.B) {
 	var cross uint64
 	for i := 0; i < b.N; i++ {
-		tb, err := harness.E1Matrix(
+		tb, err := harness.E1Matrix(context.Background(), 
 			[]string{"none", "trr", "subarray", "actremap", "swrefresh", "anvil"},
 			12, harness.AttackOpts{Horizon: 2_000_000})
 		if err != nil {
@@ -40,7 +41,7 @@ func BenchmarkE1ProtectionMatrix(b *testing.B) {
 func BenchmarkE2Interleaving(b *testing.B) {
 	var loss float64
 	for i := 0; i < b.N; i++ {
-		_, results, err := harness.E2Interleaving(1_000_000)
+		_, results, err := harness.E2Interleaving(context.Background(), 1_000_000)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func BenchmarkE2Interleaving(b *testing.B) {
 // BenchmarkE3DensityScaling regenerates the generation sweep.
 func BenchmarkE3DensityScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.E3DensityScaling(6_000_000); err != nil {
+		if _, err := harness.E3DensityScaling(context.Background(), 6_000_000); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +66,7 @@ func BenchmarkE3DensityScaling(b *testing.B) {
 // BenchmarkE4Overhead regenerates the benign-slowdown table.
 func BenchmarkE4Overhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.E4Overhead(600_000, []float64{0.001, 0.02}); err != nil {
+		if _, err := harness.E4Overhead(context.Background(), 600_000, []float64{0.001, 0.02}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -74,7 +75,7 @@ func BenchmarkE4Overhead(b *testing.B) {
 // BenchmarkE5TRRBypass regenerates the TRRespass sweep (reduced points).
 func BenchmarkE5TRRBypass(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.E5TRRBypass(16_000_000, []int{2, 12}, []int{4}); err != nil {
+		if _, err := harness.E5TRRBypass(context.Background(), 16_000_000, []int{2, 12}, []int{4}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -83,7 +84,7 @@ func BenchmarkE5TRRBypass(b *testing.B) {
 // BenchmarkE6ActInterrupt regenerates the counter-design comparison.
 func BenchmarkE6ActInterrupt(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := harness.E6ActInterrupt(3_000_000); err != nil {
+		if _, _, err := harness.E6ActInterrupt(context.Background(), 3_000_000); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -94,7 +95,7 @@ func BenchmarkE6ActInterrupt(b *testing.B) {
 func BenchmarkE7RefreshInstr(b *testing.B) {
 	var instr, load float64
 	for i := 0; i < b.N; i++ {
-		_, results, err := harness.E7RefreshPath()
+		_, results, err := harness.E7RefreshPath(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func BenchmarkE7RefreshInstr(b *testing.B) {
 // BenchmarkE8Enclave regenerates the enclave-semantics table.
 func BenchmarkE8Enclave(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.E8Enclave(2_000_000); err != nil {
+		if _, err := harness.E8Enclave(context.Background(), 2_000_000); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -127,7 +128,7 @@ func BenchmarkE8Enclave(b *testing.B) {
 func BenchmarkE9ECC(b *testing.B) {
 	var silent uint64
 	for i := 0; i < b.N; i++ {
-		_, outs, err := harness.E9ECC([]uint64{2_000_000, 8_000_000})
+		_, outs, err := harness.E9ECC(context.Background(), []uint64{2_000_000, 8_000_000})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func BenchmarkE9ECC(b *testing.B) {
 // BenchmarkE10HalfDouble regenerates the mitigation-relay comparison.
 func BenchmarkE10HalfDouble(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := harness.E10HalfDouble(0); err != nil {
+		if _, err := harness.E10HalfDouble(context.Background(), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -218,7 +219,7 @@ func BenchmarkAblationPagePolicy(b *testing.B) {
 // counter resets against the evasive attacker (E6's core ablation).
 func BenchmarkAblationDetectorRandomization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := harness.E6ActInterrupt(2_000_000); err != nil {
+		if _, _, err := harness.E6ActInterrupt(context.Background(), 2_000_000); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -435,7 +436,7 @@ func BenchmarkE1MatrixParallel(b *testing.B) {
 	}{{"serial", 1}, {"parallel", 0}} {
 		b.Run(v.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, err := harness.E1Matrix(
+				_, err := harness.E1Matrix(context.Background(), 
 					[]string{"none", "trr", "subarray", "actremap", "swrefresh", "anvil"},
 					12, harness.AttackOpts{Horizon: 2_000_000, Parallelism: v.workers})
 				if err != nil {

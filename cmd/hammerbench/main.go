@@ -43,11 +43,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
+
+	"hammertime/internal/core"
 
 	"hammertime/internal/cliutil"
 	"hammertime/internal/harness"
@@ -67,13 +71,19 @@ func main() {
 	robust.Register()
 	flag.Parse()
 	harness.SetParallelism(*parallel)
-	if err := run(strings.ToLower(*experiment), *horizon, *csv, obsFlags, robust); err != nil {
-		fmt.Fprintln(os.Stderr, "hammerbench:", err)
+	ctx, stop := cliutil.ShutdownContext()
+	defer stop()
+	if err := run(ctx, strings.ToLower(*experiment), *horizon, *csv, obsFlags, robust); err != nil {
+		if errors.Is(err, core.ErrCancelled) || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "hammerbench: interrupted:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "hammerbench:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, horizon uint64, csv bool, obsFlags cliutil.ObsFlags, robust cliutil.RobustFlags) (err error) {
+func run(ctx context.Context, experiment string, horizon uint64, csv bool, obsFlags cliutil.ObsFlags, robust cliutil.RobustFlags) (err error) {
 	// The recorder may serve many parallel cells; sync the sink.
 	session, err := obsFlags.Start(true)
 	if err != nil {
@@ -103,33 +113,33 @@ func run(experiment string, horizon uint64, csv bool, obsFlags cliutil.ObsFlags,
 
 	type exp struct {
 		id  string
-		gen func() (*report.Table, error)
+		gen func(ctx context.Context) (*report.Table, error)
 	}
 	experiments := []exp{
-		{"e1", func() (*report.Table, error) {
-			return harness.E1Matrix(nil, 12, harness.AttackOpts{Horizon: horizon, Observer: recorder})
+		{"e1", func(ctx context.Context) (*report.Table, error) {
+			return harness.E1Matrix(ctx, nil, 12, harness.AttackOpts{Horizon: horizon, Observer: recorder})
 		}},
-		{"e2", func() (*report.Table, error) {
-			tb, _, err := harness.E2Interleaving(horizon)
+		{"e2", func(ctx context.Context) (*report.Table, error) {
+			tb, _, err := harness.E2Interleaving(ctx, horizon)
 			return tb, err
 		}},
-		{"e3", func() (*report.Table, error) { return harness.E3DensityScaling(horizon) }},
-		{"e4", func() (*report.Table, error) { return harness.E4Overhead(horizon, nil) }},
-		{"e5", func() (*report.Table, error) { return harness.E5TRRBypass(horizon, nil, nil) }},
-		{"e6", func() (*report.Table, error) {
-			tb, _, err := harness.E6ActInterrupt(horizon)
+		{"e3", func(ctx context.Context) (*report.Table, error) { return harness.E3DensityScaling(ctx, horizon) }},
+		{"e4", func(ctx context.Context) (*report.Table, error) { return harness.E4Overhead(ctx, horizon, nil) }},
+		{"e5", func(ctx context.Context) (*report.Table, error) { return harness.E5TRRBypass(ctx, horizon, nil, nil) }},
+		{"e6", func(ctx context.Context) (*report.Table, error) {
+			tb, _, err := harness.E6ActInterrupt(ctx, horizon)
 			return tb, err
 		}},
-		{"e7", func() (*report.Table, error) {
-			tb, _, err := harness.E7RefreshPath()
+		{"e7", func(ctx context.Context) (*report.Table, error) {
+			tb, _, err := harness.E7RefreshPath(ctx)
 			return tb, err
 		}},
-		{"e8", func() (*report.Table, error) { return harness.E8Enclave(horizon) }},
-		{"e9", func() (*report.Table, error) {
-			tb, _, err := harness.E9ECC(nil)
+		{"e8", func(ctx context.Context) (*report.Table, error) { return harness.E8Enclave(ctx, horizon) }},
+		{"e9", func(ctx context.Context) (*report.Table, error) {
+			tb, _, err := harness.E9ECC(ctx, nil)
 			return tb, err
 		}},
-		{"e10", func() (*report.Table, error) { return harness.E10HalfDouble(horizon) }},
+		{"e10", func(ctx context.Context) (*report.Table, error) { return harness.E10HalfDouble(ctx, horizon) }},
 	}
 
 	ran := false
@@ -140,10 +150,20 @@ func run(experiment string, horizon uint64, csv bool, obsFlags cliutil.ObsFlags,
 		ran = true
 		start := time.Now()
 		collector.Begin(e.id)
-		tb, err := e.gen()
+		tb, err := e.gen(ctx)
 		collector.End()
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.id, err)
+			err = fmt.Errorf("%s: %w", e.id, err)
+			// An interrupted run still flushes what it measured: the
+			// deferred teardown closes the trace and checkpoint, and the
+			// partial performance report is written here so a SIGTERM'd
+			// grid leaves analyzable artifacts behind its nonzero exit.
+			if errors.Is(err, core.ErrCancelled) || errors.Is(err, context.Canceled) {
+				if werr := session.WriteMetrics(collector.Report()); werr != nil {
+					fmt.Fprintln(os.Stderr, "hammerbench: flush on interrupt:", werr)
+				}
+			}
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "%s: %v (%d workers)\n",
 			e.id, time.Since(start).Round(time.Millisecond), harness.Parallelism())

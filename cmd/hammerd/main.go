@@ -1,0 +1,124 @@
+// Command hammerd serves the experiment harness over HTTP: submit an
+// experiment (e1..e10), poll its status, fetch the rendered table,
+// cancel it mid-simulation. The daemon is built for long-running
+// operation on shared hardware:
+//
+//   - a bounded session pool (-sessions) caps concurrent simulations;
+//   - a bounded queue (-queue) plus per-client token buckets (-rate,
+//     -burst) shed load with 429 + Retry-After instead of queueing
+//     without bound;
+//   - per-job deadlines (-job-timeout, or "timeout" per request) and
+//     client cancellation (DELETE) tear a running simulation down via
+//     the cooperative cancellation threaded through the simulator's
+//     hot loops — the machine unwinds at its next cancellation point,
+//     auditor-consistent, not abandoned;
+//   - a panicking simulation fails its own job and the session keeps
+//     serving (per-session panic isolation);
+//   - SIGINT/SIGTERM drains gracefully: /readyz flips to 503, running
+//     and queued jobs finish (bounded by -drain-timeout, after which
+//     they are cooperatively cancelled), then the daemon exits 0;
+//   - -chaos (or HAMMERTIME_CHAOS) arms the fault-injection middleware
+//     — "latency=20ms:0.5,panic:0.1,cancel:0.2" — used by the CI soak.
+//
+// Quickstart:
+//
+//	hammerd -addr localhost:8077 &
+//	curl -s -XPOST localhost:8077/v1/jobs -d '{"experiment":"e1","horizon":400000}'
+//	curl -s localhost:8077/v1/jobs/job-1
+//	curl -s localhost:8077/v1/jobs/job-1/result
+//	curl -s -XDELETE localhost:8077/v1/jobs/job-1
+//	curl -s localhost:8077/healthz
+//	curl -s localhost:8077/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hammertime/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8077", "HTTP listen address")
+		sessions     = flag.Int("sessions", 2, "session pool size: max concurrent simulations")
+		queue        = flag.Int("queue", 8, "max queued jobs; beyond this submissions are shed with 429")
+		rate         = flag.Float64("rate", 5, "per-client submissions per second (<0 disables rate limiting)")
+		burst        = flag.Int("burst", 10, "per-client token-bucket burst")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job running deadline (0 = none); requests may tighten it")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-drain bound on SIGTERM; running jobs are cancelled after it")
+		chaosSpec    = flag.String("chaos", os.Getenv("HAMMERTIME_CHAOS"), "fault injection, e.g. latency=20ms:0.5,panic:0.1,cancel:0.2 (default $HAMMERTIME_CHAOS)")
+		chaosSeed    = flag.Uint64("chaos-seed", 1, "chaos RNG seed")
+	)
+	flag.Parse()
+	if err := run(*addr, *sessions, *queue, *rate, *burst, *jobTimeout, *drainTimeout, *chaosSpec, *chaosSeed); err != nil {
+		fmt.Fprintln(os.Stderr, "hammerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, sessions, queue int, rate float64, burst int, jobTimeout, drainTimeout time.Duration, chaosSpec string, chaosSeed uint64) error {
+	chaos, err := serve.ParseChaos(chaosSpec, chaosSeed)
+	if err != nil {
+		return err
+	}
+	mgr := serve.NewManager(serve.Config{
+		Sessions:   sessions,
+		QueueDepth: queue,
+		RatePerSec: rate,
+		Burst:      burst,
+		JobTimeout: jobTimeout,
+		Chaos:      chaos,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.NewHandler(mgr)}
+	fmt.Fprintf(os.Stderr, "hammerd: listening on http://%s (sessions=%d queue=%d rate=%g/s chaos=%s)\n",
+		ln.Addr(), sessions, queue, rate, chaos)
+
+	// Serve until the first SIGINT/SIGTERM, then drain: stop admitting
+	// (readyz 503, submits 503), let in-flight jobs finish bounded by
+	// drainTimeout, and exit 0. A drain overrun cancels the remaining
+	// simulations cooperatively and still exits cleanly — the bound
+	// exists so an orchestrator's SIGKILL grace window is never hit
+	// with the daemon mid-write.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("serve: %w", err)
+	case <-sigCtx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "hammerd: signal received, draining")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := mgr.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "hammerd:", err)
+	}
+	// The pool is drained; now close the listener and let in-flight
+	// HTTP responses (status polls racing the drain) finish.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	<-errCh // Serve has returned ErrServerClosed
+	fmt.Fprintln(os.Stderr, "hammerd: drained, exiting")
+	return nil
+}

@@ -37,6 +37,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -77,8 +79,14 @@ func main() {
 		fmt.Println("defenses:", strings.Join(defense.Names(), " "))
 		return
 	}
-	if err := run(*defenseName, *attackName, *profileName, *horizon, *tenants, *pages, *seed, *integrity, *stats, *traceOut, *traceIn, obsFlags, robust); err != nil {
-		fmt.Fprintln(os.Stderr, "hammersim:", err)
+	ctx, stop := cliutil.ShutdownContext()
+	defer stop()
+	if err := run(ctx, *defenseName, *attackName, *profileName, *horizon, *tenants, *pages, *seed, *integrity, *stats, *traceOut, *traceIn, obsFlags, robust); err != nil {
+		if errors.Is(err, core.ErrCancelled) || errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "hammersim: interrupted:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "hammersim:", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -119,7 +127,7 @@ func attackByName(name string) (attack.Kind, error) {
 	}
 }
 
-func run(defenseName, attackName, profileName string, horizon uint64, tenants, pages int, seed uint64, integrity, stats bool, traceOut, traceIn string, obsFlags cliutil.ObsFlags, robust cliutil.RobustFlags) (err error) {
+func run(ctx context.Context, defenseName, attackName, profileName string, horizon uint64, tenants, pages int, seed uint64, integrity, stats bool, traceOut, traceIn string, obsFlags cliutil.ObsFlags, robust cliutil.RobustFlags) (err error) {
 	d, err := defense.New(defenseName)
 	if err != nil {
 		return err
@@ -194,8 +202,8 @@ func run(defenseName, attackName, profileName string, horizon uint64, tenants, p
 	// The scenario runs under the robustness policy: panics are contained,
 	// -retries/-cell-timeout apply, and with -fail-soft a failure degrades
 	// into a reported ERR line instead of a non-zero exit.
-	out, ce := harness.Guarded("sim", func() (harness.AttackOutcome, error) {
-		return harness.RunAttack(spec, d, kind, opts)
+	out, ce := harness.GuardedCtx(ctx, "sim", func(ctx context.Context) (harness.AttackOutcome, error) {
+		return harness.RunAttackCtx(ctx, spec, d, kind, opts)
 	})
 	if ce != nil {
 		if !robust.FailSoft {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"hammertime/internal/cliutil"
 
@@ -71,26 +72,26 @@ func TestProfileByName(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	silence(t)
-	if err := run("none", "double", "lpddr4", 1_000_000, 3, 48, 1, false, true, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
+	if err := run(context.Background(), "none", "double", "lpddr4", 1_000_000, 3, 48, 1, false, true, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("subarray", "dma", "lpddr4", 1_000_000, 3, 48, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
+	if err := run(context.Background(), "subarray", "dma", "lpddr4", 1_000_000, 3, 48, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("none", "double", "lpddr4", 500_000, 2, 16, 1, true, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
+	if err := run(context.Background(), "none", "double", "lpddr4", 500_000, 2, 16, 1, true, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadArgs(t *testing.T) {
 	silence(t)
-	if err := run("bogus", "double", "lpddr4", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err == nil {
+	if err := run(context.Background(), "bogus", "double", "lpddr4", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err == nil {
 		t.Fatal("unknown defense accepted")
 	}
-	if err := run("none", "bogus", "lpddr4", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err == nil {
+	if err := run(context.Background(), "none", "bogus", "lpddr4", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err == nil {
 		t.Fatal("unknown attack accepted")
 	}
-	if err := run("none", "double", "bogus", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err == nil {
+	if err := run(context.Background(), "none", "double", "bogus", 1000, 3, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err == nil {
 		t.Fatal("unknown profile accepted")
 	}
 }
@@ -99,14 +100,14 @@ func TestRunTraceRecordReplay(t *testing.T) {
 	silence(t)
 	dir := t.TempDir()
 	out := dir + "/attack.jsonl"
-	if err := run("none", "double", "lpddr4", 500_000, 2, 16, 1, false, false, out, "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
+	if err := run(context.Background(), "none", "double", "lpddr4", 500_000, 2, 16, 1, false, false, out, "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
 		t.Fatalf("trace not written: %v", err)
 	}
 	// Replay the recorded attack against a different defense.
-	if err := run("swrefresh", "double", "lpddr4", 500_000, 2, 16, 1, false, false, "", out, cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
+	if err := run(context.Background(), "swrefresh", "double", "lpddr4", 500_000, 2, 16, 1, false, false, "", out, cliutil.ObsFlags{}, cliutil.RobustFlags{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -117,7 +118,7 @@ func TestRunObservabilityFlags(t *testing.T) {
 	traceFile := dir + "/events.json"
 	metricsFile := dir + "/metrics.json"
 	flags := cliutil.ObsFlags{TraceEvents: traceFile, TraceFormat: "chrome", MetricsOut: metricsFile}
-	if err := run("swrefresh", "double", "lpddr4", 2_000_000, 2, 32, 1, false, false, "", "", flags, cliutil.RobustFlags{}); err != nil {
+	if err := run(context.Background(), "swrefresh", "double", "lpddr4", 2_000_000, 2, 32, 1, false, false, "", "", flags, cliutil.RobustFlags{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -183,7 +184,7 @@ func TestRunObservabilityFlags(t *testing.T) {
 func TestRunRejectsBadTraceFormat(t *testing.T) {
 	silence(t)
 	flags := cliutil.ObsFlags{TraceEvents: t.TempDir() + "/x", TraceFormat: "bogus"}
-	if err := run("none", "double", "lpddr4", 1000, 2, 16, 1, false, false, "", "", flags, cliutil.RobustFlags{}); err == nil {
+	if err := run(context.Background(), "none", "double", "lpddr4", 1000, 2, 16, 1, false, false, "", "", flags, cliutil.RobustFlags{}); err == nil {
 		t.Fatal("unknown trace format accepted")
 	}
 }
@@ -192,11 +193,11 @@ func TestRunFailSoftDegradesInsteadOfAborting(t *testing.T) {
 	silence(t)
 	t.Setenv("HAMMERTIME_FAIL_CELL", "sim:0:panic")
 	// Strict: the contained panic still fails the run.
-	if err := run("none", "double", "lpddr4", 200_000, 2, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err == nil {
+	if err := run(context.Background(), "none", "double", "lpddr4", 200_000, 2, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{}); err == nil {
 		t.Fatal("injected panic did not fail the strict run")
 	}
 	// Fail-soft: the scenario degrades to an ERR line and exit code 0.
-	if err := run("none", "double", "lpddr4", 200_000, 2, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{FailSoft: true}); err != nil {
+	if err := run(context.Background(), "none", "double", "lpddr4", 200_000, 2, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{FailSoft: true}); err != nil {
 		t.Fatalf("fail-soft run returned %v", err)
 	}
 }
@@ -204,7 +205,7 @@ func TestRunFailSoftDegradesInsteadOfAborting(t *testing.T) {
 func TestRunRetriesRecoverTransientFailure(t *testing.T) {
 	silence(t)
 	t.Setenv("HAMMERTIME_FAIL_CELL", "sim:0:once")
-	if err := run("none", "double", "lpddr4", 200_000, 2, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{Retries: 1}); err != nil {
+	if err := run(context.Background(), "none", "double", "lpddr4", 200_000, 2, 16, 1, false, false, "", "", cliutil.ObsFlags{}, cliutil.RobustFlags{Retries: 1}); err != nil {
 		t.Fatalf("one retry did not recover the transient failure: %v", err)
 	}
 }

@@ -20,6 +20,7 @@
 package diff
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -37,15 +38,16 @@ import (
 // rendered tables are byte-identical. defenses/manySided/opts are
 // passed through to harness.E1Matrix; opts.Parallelism is overridden.
 func SerialVsParallel(defenses []string, manySided int, opts harness.AttackOpts) error {
+	ctx := context.Background()
 	serial := opts
 	serial.Parallelism = 1
-	st, err := harness.E1Matrix(defenses, manySided, serial)
+	st, err := harness.E1Matrix(ctx, defenses, manySided, serial)
 	if err != nil {
 		return fmt.Errorf("diff: serial run: %w", err)
 	}
 	parallel := opts
 	parallel.Parallelism = 4
-	pt, err := harness.E1Matrix(defenses, manySided, parallel)
+	pt, err := harness.E1Matrix(ctx, defenses, manySided, parallel)
 	if err != nil {
 		return fmt.Errorf("diff: parallel run: %w", err)
 	}

@@ -6,13 +6,16 @@
 package cliutil
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof handlers on -pprof-http
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"hammertime/internal/core"
@@ -43,6 +46,7 @@ func (f *ObsFlags) Register() {
 type RobustFlags struct {
 	FailSoft    bool
 	Retries     int
+	Backoff     time.Duration
 	CellTimeout time.Duration
 	Resume      string
 	Check       bool
@@ -52,6 +56,7 @@ type RobustFlags struct {
 func (f *RobustFlags) Register() {
 	flag.BoolVar(&f.FailSoft, "fail-soft", false, "record per-cell failures and finish the run; failed cells render as ERR(reason)")
 	flag.IntVar(&f.Retries, "retries", 0, "re-run a failed experiment cell up to this many extra times")
+	flag.DurationVar(&f.Backoff, "retry-backoff", 50*time.Millisecond, "base delay before a cell retry; doubles per attempt with deterministic jitter (0 = retry immediately)")
 	flag.DurationVar(&f.CellTimeout, "cell-timeout", 0, "per-cell wall-clock deadline, e.g. 30s (0 = none)")
 	flag.StringVar(&f.Resume, "resume", "", "checkpoint file: completed cells are appended there and restored on rerun")
 	flag.BoolVar(&f.Check, "check", false, "enable the online invariant auditor: every machine verifies row-buffer/refresh/charge invariants as it runs (observer-only; a violation fails the cell)")
@@ -66,12 +71,16 @@ func (f *RobustFlags) Apply(rec *obs.Recorder) (cleanup func() error, err error)
 	if f.Retries < 0 {
 		return nil, fmt.Errorf("retries: must be >= 0 (got %d)", f.Retries)
 	}
+	if f.Backoff < 0 {
+		return nil, fmt.Errorf("retry-backoff: must be >= 0 (got %v)", f.Backoff)
+	}
 	if f.CellTimeout < 0 {
 		return nil, fmt.Errorf("cell-timeout: must be >= 0 (got %v)", f.CellTimeout)
 	}
 	harness.SetPolicy(harness.Policy{
 		FailSoft:    f.FailSoft,
 		Retries:     f.Retries,
+		Backoff:     f.Backoff,
 		CellTimeout: f.CellTimeout,
 	})
 	harness.SetGridObserver(rec)
@@ -103,6 +112,17 @@ func (f *RobustFlags) Apply(rec *obs.Recorder) (cleanup func() error, err error)
 		}
 	}
 	return restore, nil
+}
+
+// ShutdownContext returns a context cancelled on SIGINT/SIGTERM, for
+// threading into experiment grids and machine runs: the first signal
+// cancels the context so in-flight simulations tear down at their next
+// cancellation point (core.ErrCancelled) and the CLI's deferred teardown
+// — trace flush, checkpoint close, metrics write — still runs before the
+// process exits nonzero. A second signal falls back to the Go runtime's
+// default handling (immediate kill), so a hung run stays interruptible.
+func ShutdownContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
 // Session is the started observability state. Close flushes and releases

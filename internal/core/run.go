@@ -1,10 +1,19 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"hammertime/internal/sim"
 )
+
+// ErrCancelled marks a run stopped by its context rather than by reaching
+// the horizon or an agent error. Callers match it with errors.Is; the
+// wrapped chain also carries the context's cause (context.Canceled or
+// context.DeadlineExceeded), so errors.Is(err, context.Canceled) works
+// too.
+var ErrCancelled = errors.New("core: run cancelled")
 
 // RunResult summarizes one simulation run.
 type RunResult struct {
@@ -33,8 +42,30 @@ func (r RunResult) Throughput(i int) float64 {
 // finishes or the horizon is reached. Scheduling is deterministic:
 // the earliest-ready agent steps next, with index order breaking ties.
 func (m *Machine) Run(agents []Agent, horizon uint64) (RunResult, error) {
+	return m.RunCtx(context.Background(), agents, horizon)
+}
+
+// RunCtx is Run under cooperative cancellation: the scheduler polls ctx
+// at a bounded interval (sim.DefaultCancelInterval steps; the controller's
+// refresh catch-up polls it too) and, when the context is cancelled,
+// tears the run down instead of abandoning it — the partial result is
+// returned, observability sinks are flushed, and the machine is left in
+// an auditor-consistent state (every issued command is fully applied;
+// CheckInvariants passes on the cancelled machine). The returned error
+// wraps both ErrCancelled and the context's cause.
+//
+// With a never-cancellable context (context.Background) the gate is free
+// and the run is byte-identical to Run.
+func (m *Machine) RunCtx(ctx context.Context, agents []Agent, horizon uint64) (RunResult, error) {
 	if horizon == 0 {
 		return RunResult{}, fmt.Errorf("core: run needs a horizon > 0")
+	}
+	gate := sim.NewCanceler(ctx, 0)
+	if gate != nil {
+		// Long idle jumps (the final AdvanceTo, a refresh catch-up across
+		// many tREFI epochs) honor the same gate inside the controller.
+		m.MC.SetCanceler(gate)
+		defer m.MC.SetCanceler(nil)
 	}
 	all := append(append([]Agent(nil), agents...), m.daemons...)
 	next := make([]uint64, len(all))
@@ -44,6 +75,9 @@ func (m *Machine) Run(agents []Agent, horizon uint64) (RunResult, error) {
 		active[i] = !all[i].Done()
 	}
 	for {
+		if err := gate.Check(); err != nil {
+			return m.cancelRun(horizon, steps, err)
+		}
 		// Pick the earliest-ready active agent.
 		idx := -1
 		for i := range all {
@@ -69,10 +103,39 @@ func (m *Machine) Run(agents []Agent, horizon uint64) (RunResult, error) {
 		next[idx] = n
 	}
 	m.MC.AdvanceTo(horizon)
+	if gate.Tripped() {
+		// The final idle catch-up was cut short; report the cancellation
+		// rather than an apparently-complete run whose refresh schedule
+		// stops early.
+		return m.cancelRun(horizon, steps, context.Cause(ctx))
+	}
 	if err := m.CheckInvariants(); err != nil {
 		return RunResult{}, err
 	}
+	return m.collectResult(horizon, steps), nil
+}
 
+// cancelRun is the cooperative-cancellation teardown: the machine stops
+// where it is (agent boundaries and chunked refresh catch-up are the only
+// cancellation points, so every issued command is fully applied), the
+// invariant auditor must still accept the state, observability sinks are
+// flushed so traces end cleanly, and the partial result rides along with
+// the error.
+func (m *Machine) cancelRun(horizon uint64, steps []uint64, cause error) (RunResult, error) {
+	if err := m.CheckInvariants(); err != nil {
+		return RunResult{}, fmt.Errorf("core: cancelled run left inconsistent state: %w", err)
+	}
+	res := m.collectResult(horizon, steps)
+	if err := m.rec.Flush(); err != nil {
+		return res, fmt.Errorf("%w (flush on cancel: %v): %v", ErrCancelled, err, cause)
+	}
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return res, fmt.Errorf("%w at cycle %d: %w", ErrCancelled, m.MC.Now(), cause)
+}
+
+func (m *Machine) collectResult(horizon uint64, steps []uint64) RunResult {
 	res := RunResult{
 		Horizon:    horizon,
 		Steps:      steps,
@@ -82,5 +145,5 @@ func (m *Machine) Run(agents []Agent, horizon uint64) (RunResult, error) {
 	res.Stats.Merge(m.DRAM.Stats())
 	res.Stats.Merge(m.MC.Stats())
 	res.Stats.Merge(m.Kernel.Stats())
-	return res, nil
+	return res
 }

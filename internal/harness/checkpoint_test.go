@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"bytes"
 	"os"
 	"path/filepath"
@@ -21,11 +22,11 @@ func TestCheckpointResumeSkipsCompletedCells(t *testing.T) {
 	}
 	SetCheckpoint(ck)
 	var calls atomic.Int64
-	fn := func(i int) (int, error) {
+	fn := func(_ context.Context, i int) (int, error) {
 		calls.Add(1)
 		return 3 * i, nil
 	}
-	run := runGrid(spec, 5, fn)
+	run := runGrid(context.Background(), spec, 5, fn)
 	if err := run.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestCheckpointResumeSkipsCompletedCells(t *testing.T) {
 	}
 	SetCheckpoint(ck2)
 	calls.Store(0)
-	again := runGrid(spec, 5, fn)
+	again := runGrid(context.Background(), spec, 5, fn)
 	if err := again.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestCheckpointResumeSkipsCompletedCells(t *testing.T) {
 	}
 
 	// A different config must never restore the stale cells.
-	other := runGrid(GridSpec{ID: "t-ck", Config: "c2", Workers: 1}, 5, fn)
+	other := runGrid(context.Background(), GridSpec{ID: "t-ck", Config: "c2", Workers: 1}, 5, fn)
 	if err := other.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestCheckpointResumeSkipsCompletedCells(t *testing.T) {
 
 	// Anonymous grids (empty ID) never touch the checkpoint.
 	calls.Store(0)
-	anon := runGrid(GridSpec{Workers: 1}, 3, fn)
+	anon := runGrid(context.Background(), GridSpec{Workers: 1}, 3, fn)
 	if err := anon.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestCheckpointTrimsTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	SetCheckpoint(ck)
-	if err := runGrid(spec, 4, func(i int) (int, error) { return i, nil }).Err(); err != nil {
+	if err := runGrid(context.Background(), spec, 4, func(_ context.Context, i int) (int, error) { return i, nil }).Err(); err != nil {
 		t.Fatal(err)
 	}
 	if err := ck.Close(); err != nil {
@@ -162,7 +163,7 @@ func TestE1ResumeByteIdentical(t *testing.T) {
 	}
 
 	// Baseline: uninterrupted, uncheckpointed.
-	tb, err := E1Matrix(defenses, 4, opts)
+	tb, err := E1Matrix(context.Background(), defenses, 4, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestE1ResumeByteIdentical(t *testing.T) {
 	}
 	SetCheckpoint(ck)
 	t.Setenv(failCellEnv, "e1:5:error")
-	if _, err := E1Matrix(defenses, 4, opts); err == nil {
+	if _, err := E1Matrix(context.Background(), defenses, 4, opts); err == nil {
 		t.Fatal("injected failure did not abort the strict run")
 	}
 	if err := ck.Close(); err != nil {
@@ -199,7 +200,7 @@ func TestE1ResumeByteIdentical(t *testing.T) {
 		t.Fatalf("restart loaded %d cells, interrupted run wrote %d", ck2.Loaded(), ck.Added())
 	}
 	SetCheckpoint(ck2)
-	tb2, err := E1Matrix(defenses, 4, opts)
+	tb2, err := E1Matrix(context.Background(), defenses, 4, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

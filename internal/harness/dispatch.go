@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"hammertime/internal/report"
+)
+
+// The experiment dispatcher: one name-indexed entry point over E1-E10 so
+// callers that receive an experiment id at runtime — cmd/hammerbench's
+// -experiment flag is compiled in, but hammerd accepts ids over HTTP —
+// share a single switch instead of each growing their own. Every
+// experiment runs under the caller's context; cancelling it tears the
+// grid down at the next cancellation point (core.ErrCancelled).
+
+// experimentRunners maps experiment ids to their table generators. The
+// multi-value experiments (E2, E6, E7, E9) discard their secondary
+// results here; callers that need them use the E-functions directly.
+var experimentRunners = map[string]func(ctx context.Context, horizon uint64, opts AttackOpts) (*report.Table, error){
+	"e1": func(ctx context.Context, horizon uint64, opts AttackOpts) (*report.Table, error) {
+		opts.Horizon = horizon
+		return E1Matrix(ctx, nil, 12, opts)
+	},
+	"e2": func(ctx context.Context, horizon uint64, _ AttackOpts) (*report.Table, error) {
+		tb, _, err := E2Interleaving(ctx, horizon)
+		return tb, err
+	},
+	"e3": func(ctx context.Context, horizon uint64, _ AttackOpts) (*report.Table, error) {
+		return E3DensityScaling(ctx, horizon)
+	},
+	"e4": func(ctx context.Context, horizon uint64, _ AttackOpts) (*report.Table, error) {
+		return E4Overhead(ctx, horizon, nil)
+	},
+	"e5": func(ctx context.Context, horizon uint64, _ AttackOpts) (*report.Table, error) {
+		return E5TRRBypass(ctx, horizon, nil, nil)
+	},
+	"e6": func(ctx context.Context, horizon uint64, _ AttackOpts) (*report.Table, error) {
+		tb, _, err := E6ActInterrupt(ctx, horizon)
+		return tb, err
+	},
+	"e7": func(ctx context.Context, _ uint64, _ AttackOpts) (*report.Table, error) {
+		tb, _, err := E7RefreshPath(ctx)
+		return tb, err
+	},
+	"e8": func(ctx context.Context, horizon uint64, _ AttackOpts) (*report.Table, error) {
+		return E8Enclave(ctx, horizon)
+	},
+	"e9": func(ctx context.Context, _ uint64, _ AttackOpts) (*report.Table, error) {
+		tb, _, err := E9ECC(ctx, nil)
+		return tb, err
+	},
+	"e10": func(ctx context.Context, horizon uint64, _ AttackOpts) (*report.Table, error) {
+		return E10HalfDouble(ctx, horizon)
+	},
+}
+
+// ExperimentIDs returns the dispatchable experiment ids, sorted.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(experimentRunners))
+	for id := range experimentRunners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ValidExperiment reports whether id names a dispatchable experiment.
+func ValidExperiment(id string) bool {
+	_, ok := experimentRunners[id]
+	return ok
+}
+
+// Experiment runs the named experiment (e1..e10) under ctx and returns
+// its rendered table. horizon 0 uses the experiment's default; opts
+// carries the E1 knobs (tenants, observer, parallelism) and is ignored
+// by experiments that don't take them.
+func Experiment(ctx context.Context, id string, horizon uint64, opts AttackOpts) (*report.Table, error) {
+	fn, ok := experimentRunners[id]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown experiment %q (want one of %v)", id, ExperimentIDs())
+	}
+	return fn(ctx, horizon, opts)
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,7 +36,7 @@ func E1Spec() core.MachineSpec {
 // (defense, attack) cells are independent simulations and run on the
 // worker pool (opts.Parallelism); each cell constructs its own defense
 // instance because several defenses are stateful software daemons.
-func E1Matrix(defenses []string, manySided int, opts AttackOpts) (*report.Table, error) {
+func E1Matrix(ctx context.Context, defenses []string, manySided int, opts AttackOpts) (*report.Table, error) {
 	if len(defenses) == 0 {
 		defenses = E1Defenses
 	}
@@ -51,13 +52,13 @@ func E1Matrix(defenses []string, manySided int, opts AttackOpts) (*report.Table,
 		Config:  fmt.Sprintf("defenses=%s;sided=%d;%s", strings.Join(defenses, ","), manySided, opts.configString()),
 		Workers: opts.Parallelism,
 	}
-	run := runGrid(spec, len(defenses)*nA, func(i int) (string, error) {
+	run := runGrid(ctx, spec, len(defenses)*nA, func(ctx context.Context, i int) (string, error) {
 		name, kind := defenses[i/nA], attacks[i%nA]
 		d, err := defense.New(name)
 		if err != nil {
 			return "", err
 		}
-		out, err := RunAttack(E1Spec(), d, kind, opts)
+		out, err := RunAttackCtx(ctx, E1Spec(), d, kind, opts)
 		if err != nil {
 			return "", fmt.Errorf("harness: E1 %s vs %s: %w", name, kind.Name, err)
 		}
@@ -131,7 +132,7 @@ type E2Result struct {
 // scheme. The paper's §4.1 claim: disabling interleaving for bank-aware
 // isolation costs double-digit percent (Tang et al. measured >18%), while
 // subarray-isolated interleaving keeps the full-interleave throughput.
-func E2Interleaving(horizon uint64) (*report.Table, []E2Result, error) {
+func E2Interleaving(ctx context.Context, horizon uint64) (*report.Table, []E2Result, error) {
 	if horizon == 0 {
 		horizon = 2_000_000
 	}
@@ -140,8 +141,8 @@ func E2Interleaving(horizon uint64) (*report.Table, []E2Result, error) {
 		"scheme", "workload", "accesses", "loss-vs-interleave%")
 	schemes := E2Schemes()
 	nW := len(workloads)
-	run := runGrid(GridSpec{ID: "e2", Config: fmt.Sprintf("horizon=%d", horizon)},
-		len(schemes)*nW, func(i int) (uint64, error) {
+	run := runGrid(ctx, GridSpec{ID: "e2", Config: fmt.Sprintf("horizon=%d", horizon)},
+		len(schemes)*nW, func(ctx context.Context, i int) (uint64, error) {
 			scheme, wl := schemes[i/nW], workloads[i%nW]
 			m, err := core.NewMachine(scheme.Spec)
 			if err != nil {
@@ -168,7 +169,7 @@ func E2Interleaving(horizon uint64) (*report.Table, []E2Result, error) {
 				return 0, err
 			}
 			c.MLP = 8
-			if _, err := m.Run([]core.Agent{c}, horizon); err != nil {
+			if _, err := m.RunCtx(ctx, []core.Agent{c}, horizon); err != nil {
 				return 0, err
 			}
 			return c.Counters().Accesses, nil
@@ -184,7 +185,7 @@ func E2Interleaving(horizon uint64) (*report.Table, []E2Result, error) {
 		for wi, wl := range workloads {
 			i := si*nW + wi
 			if ce := run.Failed(i); ce != nil {
-				tb.AddRow(scheme.Name, wl, report.ErrCell(ce.Reason()), "-")
+				tb.AddRow(scheme.Name, wl, report.ErrCellN(ce.Reason(), ce.Attempts), "-")
 				continue
 			}
 			acc := run.Results[i]
@@ -210,7 +211,7 @@ func E2Interleaving(horizon uint64) (*report.Table, []E2Result, error) {
 // grows, vendor-style TRR keeps losing ground, the SRAM a Graphene-class
 // tracker needs keeps growing — while the software defense built on the
 // paper's primitives holds at constant hardware cost.
-func E3DensityScaling(horizon uint64) (*report.Table, error) {
+func E3DensityScaling(ctx context.Context, horizon uint64) (*report.Table, error) {
 	if horizon == 0 {
 		horizon = 16_000_000
 	}
@@ -221,8 +222,8 @@ func E3DensityScaling(horizon uint64) (*report.Table, error) {
 	kind := attack.Kind{Name: "double-sided", Sided: 2}
 	gens := dram.Generations()
 	names := []string{"none", "trr", "swrefresh"}
-	run := runGrid(GridSpec{ID: "e3", Config: fmt.Sprintf("horizon=%d", horizon)},
-		len(gens)*len(names), func(i int) (uint64, error) {
+	run := runGrid(ctx, GridSpec{ID: "e3", Config: fmt.Sprintf("horizon=%d", horizon)},
+		len(gens)*len(names), func(ctx context.Context, i int) (uint64, error) {
 			prof, name := gens[i/len(names)], names[i%len(names)]
 			spec := core.DefaultSpec()
 			spec.Profile = prof
@@ -230,7 +231,7 @@ func E3DensityScaling(horizon uint64) (*report.Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			out, err := RunAttack(spec, d, kind, opts)
+			out, err := RunAttackCtx(ctx, spec, d, kind, opts)
 			if err != nil {
 				return 0, fmt.Errorf("harness: E3 %s/%s: %w", prof.Name, name, err)
 			}
@@ -263,7 +264,7 @@ var E4Defenses = []string{
 // E4Overhead measures benign multi-tenant slowdown per defense: three
 // tenants run a stream+random mix with no attacker; the metric is total
 // completed accesses relative to the undefended machine.
-func E4Overhead(horizon uint64, paraProbs []float64) (*report.Table, error) {
+func E4Overhead(ctx context.Context, horizon uint64, paraProbs []float64) (*report.Table, error) {
 	if horizon == 0 {
 		horizon = 2_000_000
 	}
@@ -302,15 +303,15 @@ func E4Overhead(horizon uint64, paraProbs []float64) (*report.Table, error) {
 	for i, e := range entries {
 		names[i] = e.name
 	}
-	run := runGrid(GridSpec{
+	run := runGrid(ctx, GridSpec{
 		ID:     "e4",
 		Config: fmt.Sprintf("horizon=%d;defenses=%s;probs=%v", horizon, strings.Join(names, ","), paraProbs),
-	}, len(entries), func(i int) (e4Cell, error) {
+	}, len(entries), func(ctx context.Context, i int) (e4Cell, error) {
 		d, err := entries[i].mk()
 		if err != nil {
 			return e4Cell{}, err
 		}
-		acc, energy, err := runBenign(d, horizon)
+		acc, energy, err := runBenign(ctx, d, horizon)
 		if err != nil {
 			return e4Cell{}, fmt.Errorf("harness: E4 %s: %w", entries[i].name, err)
 		}
@@ -324,7 +325,7 @@ func E4Overhead(horizon uint64, paraProbs []float64) (*report.Table, error) {
 	var baseline uint64
 	for i, e := range entries {
 		if ce := run.Failed(i); ce != nil {
-			tb.AddRow(e.name, report.ErrCell(ce.Reason()), "-", "-")
+			tb.AddRow(e.name, report.ErrCellN(ce.Reason(), ce.Attempts), "-", "-")
 			continue
 		}
 		acc := run.Results[i].Accesses
@@ -358,7 +359,7 @@ type e4Cell struct {
 // the defense and returns their total completed accesses. The combined
 // working set (3 x 2 MiB) exceeds the LLC so the memory system — where
 // every defense lives — is actually exercised.
-func runBenign(d core.Defense, horizon uint64) (uint64, float64, error) {
+func runBenign(ctx context.Context, d core.Defense, horizon uint64) (uint64, float64, error) {
 	m, err := core.BuildWithDefense(core.DefaultSpec(), d)
 	if err != nil {
 		return 0, 0, err
@@ -389,7 +390,7 @@ func runBenign(d core.Defense, horizon uint64) (uint64, float64, error) {
 	if oc, ok := d.(interface{ ObserveCores([]*cpu.Core) }); ok {
 		oc.ObserveCores(cores)
 	}
-	res, err := m.Run(agents, horizon)
+	res, err := m.RunCtx(ctx, agents, horizon)
 	if err != nil {
 		return 0, 0, err
 	}

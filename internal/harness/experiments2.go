@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,7 +20,7 @@ import (
 // Expected shape: a tracker with n entries stops attacks up to roughly n
 // aggressors and is bypassed beyond; very large counts starve themselves
 // of per-row ACT budget and stop flipping even undefended.
-func E5TRRBypass(horizon uint64, sides []int, trackers []int) (*report.Table, error) {
+func E5TRRBypass(ctx context.Context, horizon uint64, sides []int, trackers []int) (*report.Table, error) {
 	if horizon == 0 {
 		horizon = 16_000_000
 	}
@@ -38,10 +39,10 @@ func E5TRRBypass(horizon uint64, sides []int, trackers []int) (*report.Table, er
 	spec.Profile = dram.DDR4Old()
 	opts := AttackOpts{Horizon: horizon}
 	nC := 1 + len(trackers) // columns per row: undefended + one per tracker size
-	run := runGrid(GridSpec{
+	run := runGrid(ctx, GridSpec{
 		ID:     "e5",
 		Config: fmt.Sprintf("horizon=%d;sides=%v;trackers=%v", horizon, sides, trackers),
-	}, len(sides)*nC, func(i int) (string, error) {
+	}, len(sides)*nC, func(ctx context.Context, i int) (string, error) {
 		k, ci := sides[i/nC], i%nC
 		kind := attack.Kind{Name: fmt.Sprintf("many-sided(%d)", k), Sided: k}
 		var d core.Defense = defense.None{}
@@ -50,7 +51,7 @@ func E5TRRBypass(horizon uint64, sides []int, trackers []int) (*report.Table, er
 			cfg.TrackerEntries = trackers[ci-1]
 			d = defense.TRR{Config: cfg}
 		}
-		out, err := RunAttack(spec, d, kind, opts)
+		out, err := RunAttackCtx(ctx, spec, d, kind, opts)
 		if err != nil {
 			return "", fmt.Errorf("harness: E5 %s/%d: %w", d.Name(), k, err)
 		}
@@ -97,7 +98,7 @@ type E6Result struct {
 //     attack wins;
 //   - precise + randomized reset: overflow points are unpredictable, the
 //     aggressor rows get reported and refreshed; the attack loses.
-func E6ActInterrupt(horizon uint64) (*report.Table, []E6Result, error) {
+func E6ActInterrupt(ctx context.Context, horizon uint64) (*report.Table, []E6Result, error) {
 	if horizon == 0 {
 		horizon = 4_000_000
 	}
@@ -108,9 +109,9 @@ func E6ActInterrupt(horizon uint64) (*report.Table, []E6Result, error) {
 	}
 	tb := report.NewTable("E6: precise ACT interrupt vs evasive attacker (LPDDR4)",
 		"counter mode", "overflows", "aggressor flags", "first flag cycle", "cross flips", "attack")
-	run := runGrid(GridSpec{ID: "e6", Config: fmt.Sprintf("horizon=%d", horizon)},
-		len(modes), func(i int) (E6Result, error) {
-			res, err := runE6(modes[i], horizon)
+	run := runGrid(ctx, GridSpec{ID: "e6", Config: fmt.Sprintf("horizon=%d", horizon)},
+		len(modes), func(ctx context.Context, i int) (E6Result, error) {
+			res, err := runE6(ctx, modes[i], horizon)
 			if err != nil {
 				return E6Result{}, fmt.Errorf("harness: E6 %s: %w", modes[i].Name, err)
 			}
@@ -122,7 +123,7 @@ func E6ActInterrupt(horizon uint64) (*report.Table, []E6Result, error) {
 	results := run.Results
 	for i, res := range results {
 		if ce := run.Failed(i); ce != nil {
-			errCell := report.ErrCell(ce.Reason())
+			errCell := report.ErrCellN(ce.Reason(), ce.Attempts)
 			tb.AddRow(modes[i].Name, errCell, errCell, "-", errCell, "-")
 			continue
 		}
@@ -140,7 +141,7 @@ func E6ActInterrupt(horizon uint64) (*report.Table, []E6Result, error) {
 	return tb, results, nil
 }
 
-func runE6(mode E6Mode, horizon uint64) (E6Result, error) {
+func runE6(ctx context.Context, mode E6Mode, horizon uint64) (E6Result, error) {
 	spec := E1Spec()
 	m, err := core.NewMachine(spec)
 	if err != nil {
@@ -215,7 +216,7 @@ func runE6(mode E6Mode, horizon uint64) (E6Result, error) {
 	if err != nil {
 		return E6Result{}, err
 	}
-	if _, err := m.Run([]core.Agent{c}, horizon); err != nil {
+	if _, err := m.RunCtx(ctx, []core.Agent{c}, horizon); err != nil {
 		return E6Result{}, err
 	}
 	res.CrossFlips = m.CrossDomainFlips()
@@ -316,15 +317,15 @@ func addrDDR(bank, row int) addr.DDR { return addr.DDR{Bank: bank, Row: row} }
 // E8Enclave contrasts the §4.4 enclave outcomes: the same double-sided
 // attack silently corrupts a normal victim, but merely denies service
 // (machine lockup) when the victim's memory is integrity-checked.
-func E8Enclave(horizon uint64) (*report.Table, error) {
+func E8Enclave(ctx context.Context, horizon uint64) (*report.Table, error) {
 	if horizon == 0 {
 		horizon = 4_000_000
 	}
 	tb := report.NewTable("E8: enclave integrity semantics under attack (LPDDR4, no defense)",
 		"victim memory", "cross flips", "machine locked up", "outcome")
-	run := runGrid(GridSpec{ID: "e8", Config: fmt.Sprintf("horizon=%d", horizon)},
-		2, func(i int) (e8Cell, error) {
-			out, err := RunAttack(E1Spec(), defense.None{}, attack.Kind{Name: "double-sided", Sided: 2},
+	run := runGrid(ctx, GridSpec{ID: "e8", Config: fmt.Sprintf("horizon=%d", horizon)},
+		2, func(ctx context.Context, i int) (e8Cell, error) {
+			out, err := RunAttackCtx(ctx, E1Spec(), defense.None{}, attack.Kind{Name: "double-sided", Sided: 2},
 				AttackOpts{Horizon: horizon, VictimIntegrity: i == 1})
 			if err != nil {
 				return e8Cell{}, fmt.Errorf("harness: E8 integrity=%v: %w", i == 1, err)
@@ -340,7 +341,7 @@ func E8Enclave(horizon uint64) (*report.Table, error) {
 			label = "integrity-checked enclave"
 		}
 		if ce := run.Failed(i); ce != nil {
-			errCell := report.ErrCell(ce.Reason())
+			errCell := report.ErrCellN(ce.Reason(), ce.Attempts)
 			tb.AddRow(label, errCell, errCell, "-")
 			continue
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"hammertime/internal/core"
@@ -42,12 +43,13 @@ type E7Result struct {
 // row-buffer hit recharges nothing the software can rely on and issues no
 // ACT), and always costs a bus transfer and cache fill; the refresh
 // instruction is unconditional and data-free.
-func E7RefreshPath() (*report.Table, []E7Result, error) {
+func E7RefreshPath(ctx context.Context) (*report.Table, []E7Result, error) {
 	tb := report.NewTable("E7: targeted-refresh mechanisms (§4.3)",
 		"method", "bank state", "cycles", "ACT cmds", "bus transfers", "victim refreshed")
 	methods := []E7Method{E7RefreshInstr, E7RefNeighbors, E7LoadPath}
-	run := runGrid(GridSpec{ID: "e7", Config: "v1"},
-		2*len(methods), func(i int) (E7Result, error) {
+	run := runGrid(ctx, GridSpec{ID: "e7", Config: "v1"},
+		2*len(methods), func(ctx context.Context, i int) (E7Result, error) {
+			_ = ctx // E7 drives the controller directly; cells are short
 			method, victimOpen := methods[i/2], i%2 == 1
 			r, err := runE7(method, victimOpen)
 			if err != nil {
@@ -65,7 +67,7 @@ func E7RefreshPath() (*report.Table, []E7Result, error) {
 			if i%2 == 1 {
 				state = "victim row open"
 			}
-			errCell := report.ErrCell(ce.Reason())
+			errCell := report.ErrCellN(ce.Reason(), ce.Attempts)
 			tb.AddRow(string(methods[i/2]), state, errCell, errCell, errCell, "-")
 			continue
 		}

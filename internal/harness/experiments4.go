@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"hammertime/internal/addr"
@@ -57,15 +58,15 @@ func scanECC(m *core.Machine, attacker int) (ECCOutcome, error) {
 // hierarchy: light attacks are fully corrected, heavier ones trip
 // machine checks (DoS), and sustained hammering produces words whose
 // multi-bit flips silently bypass SECDED.
-func E9ECC(horizons []uint64) (*report.Table, []ECCOutcome, error) {
+func E9ECC(ctx context.Context, horizons []uint64) (*report.Table, []ECCOutcome, error) {
 	if len(horizons) == 0 {
 		horizons = []uint64{2_000_000, 6_000_000, 16_000_000}
 	}
 	tb := report.NewTable("E9: SECDED ECC outcomes under double-sided attack (LPDDR4)",
 		"config", "horizon (cycles)", "raw flips", "words corrected", "words detected (DoS)", "words silent-corrupt")
-	run := runGrid(GridSpec{ID: "e9", Config: fmt.Sprintf("horizons=%v", horizons)},
-		2*len(horizons), func(i int) (ECCOutcome, error) {
-			return runE9(horizons[i/2], i%2 == 1)
+	run := runGrid(ctx, GridSpec{ID: "e9", Config: fmt.Sprintf("horizons=%v", horizons)},
+		2*len(horizons), func(ctx context.Context, i int) (ECCOutcome, error) {
+			return runE9(ctx, horizons[i/2], i%2 == 1)
 		})
 	if err := run.Err(); err != nil {
 		return nil, nil, err
@@ -77,7 +78,7 @@ func E9ECC(horizons []uint64) (*report.Table, []ECCOutcome, error) {
 			label = "ecc+scrub"
 		}
 		if ce := run.Failed(i); ce != nil {
-			errCell := report.ErrCell(ce.Reason())
+			errCell := report.ErrCellN(ce.Reason(), ce.Attempts)
 			tb.AddRowf(label, horizons[i/2], errCell, errCell, errCell, errCell)
 			continue
 		}
@@ -86,7 +87,7 @@ func E9ECC(horizons []uint64) (*report.Table, []ECCOutcome, error) {
 	return tb, outs, nil
 }
 
-func runE9(h uint64, scrub bool) (ECCOutcome, error) {
+func runE9(ctx context.Context, h uint64, scrub bool) (ECCOutcome, error) {
 	{
 		spec := E1Spec()
 		var d core.Defense = defense.ECC{}
@@ -121,7 +122,7 @@ func runE9(h uint64, scrub bool) (ECCOutcome, error) {
 		if err != nil {
 			return ECCOutcome{}, err
 		}
-		if _, err := m.Run([]core.Agent{c}, h); err != nil {
+		if _, err := m.RunCtx(ctx, []core.Agent{c}, h); err != nil {
 			return ECCOutcome{}, err
 		}
 		return scanECC(m, attacker)
@@ -154,7 +155,7 @@ func fillTenantData(m *core.Machine, tenants []Tenant) error {
 // by the mitigation itself (Google's Half-Double). The experiment uses a
 // hypothetical dense radius-1 part so the relay converges in simulation
 // time; the mechanism, not the MAC, is the subject.
-func E10HalfDouble(horizon uint64) (*report.Table, error) {
+func E10HalfDouble(ctx context.Context, horizon uint64) (*report.Table, error) {
 	if horizon == 0 {
 		horizon = 24_000_000
 	}
@@ -168,8 +169,8 @@ func E10HalfDouble(horizon uint64) (*report.Table, error) {
 		Within      uint64 `json:"within"`
 		Relayed     uint64 `json:"relayed"`
 	}
-	run := runGrid(GridSpec{ID: "e10", Config: fmt.Sprintf("horizon=%d", horizon)},
-		2, func(i int) (e10Row, error) {
+	run := runGrid(ctx, GridSpec{ID: "e10", Config: fmt.Sprintf("horizon=%d", horizon)},
+		2, func(ctx context.Context, i int) (e10Row, error) {
 			cureACT := i == 1
 			spec := core.DefaultSpec()
 			spec.Profile = prof
@@ -197,7 +198,7 @@ func E10HalfDouble(horizon uint64) (*report.Table, error) {
 			if err != nil {
 				return e10Row{}, err
 			}
-			if _, err := m.Run([]core.Agent{c}, horizon); err != nil {
+			if _, err := m.RunCtx(ctx, []core.Agent{c}, horizon); err != nil {
 				return e10Row{}, err
 			}
 			return e10Row{
@@ -215,7 +216,7 @@ func E10HalfDouble(horizon uint64) (*report.Table, error) {
 			mode = "activate-based"
 		}
 		if ce := run.Failed(i); ce != nil {
-			errCell := report.ErrCell(ce.Reason())
+			errCell := report.ErrCellN(ce.Reason(), ce.Attempts)
 			tb.AddRow(mode, errCell, errCell, errCell)
 			continue
 		}

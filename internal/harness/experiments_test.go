@@ -1,12 +1,13 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestE2InterleavingShape(t *testing.T) {
-	tb, results, err := E2Interleaving(1_000_000)
+	tb, results, err := E2Interleaving(context.Background(), 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestE2InterleavingShape(t *testing.T) {
 }
 
 func TestE6ActInterruptShape(t *testing.T) {
-	tb, results, err := E6ActInterrupt(3_000_000)
+	tb, results, err := E6ActInterrupt(context.Background(), 3_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestE6ActInterruptShape(t *testing.T) {
 }
 
 func TestE7RefreshPathShape(t *testing.T) {
-	tb, results, err := E7RefreshPath()
+	tb, results, err := E7RefreshPath(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestE7RefreshPathShape(t *testing.T) {
 }
 
 func TestE8EnclaveShape(t *testing.T) {
-	tb, err := E8Enclave(2_000_000)
+	tb, err := E8Enclave(context.Background(), 2_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestE8EnclaveShape(t *testing.T) {
 func TestE1MatrixSmall(t *testing.T) {
 	// A two-defense slice keeps the full pipeline covered without
 	// repeating the exhaustive matrix test.
-	tb, err := E1Matrix([]string{"none", "subarray"}, 12, AttackOpts{Horizon: 2_000_000})
+	tb, err := E1Matrix(context.Background(), []string{"none", "subarray"}, 12, AttackOpts{Horizon: 2_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestE1MatrixSmall(t *testing.T) {
 }
 
 func TestE5TRRBypassSmall(t *testing.T) {
-	tb, err := E5TRRBypass(16_000_000, []int{2, 12}, []int{4})
+	tb, err := E5TRRBypass(context.Background(), 16_000_000, []int{2, 12}, []int{4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestE5TRRBypassSmall(t *testing.T) {
 }
 
 func TestE3DensityScalingSmall(t *testing.T) {
-	tb, err := E3DensityScaling(6_000_000)
+	tb, err := E3DensityScaling(context.Background(), 6_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestE3DensityScalingSmall(t *testing.T) {
 }
 
 func TestE4OverheadSmall(t *testing.T) {
-	tb, err := E4Overhead(600_000, []float64{0.001})
+	tb, err := E4Overhead(context.Background(), 600_000, []float64{0.001})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestE4OverheadSmall(t *testing.T) {
 }
 
 func TestE9ECCShape(t *testing.T) {
-	tb, outs, err := E9ECC([]uint64{2_000_000, 16_000_000})
+	tb, outs, err := E9ECC(context.Background(), []uint64{2_000_000, 16_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestE9ECCShape(t *testing.T) {
 }
 
 func TestE10HalfDoubleShape(t *testing.T) {
-	tb, err := E10HalfDouble(0)
+	tb, err := E10HalfDouble(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

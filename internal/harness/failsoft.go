@@ -1,8 +1,11 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"runtime/debug"
 	"sort"
@@ -14,32 +17,50 @@ import (
 
 	"hammertime/internal/obs"
 	"hammertime/internal/report"
+	"hammertime/internal/sim"
 )
 
 // The robustness layer of the experiment harness. Long sweeps (the
 // BlockHammer- and Kim-style grids of E1-E10) are embarrassingly parallel
 // and all-or-nothing by default: one failing cell aborts the whole run.
 // The policy below turns that into fail-soft semantics: panics are
-// contained into typed CellErrors, failed cells may be retried a bounded
-// number of times or cut off by a per-cell wall-clock deadline, and in
-// fail-soft mode the grid finishes with the failure recorded per cell so
-// tables render ERR(reason) placeholders instead of dropping the run.
+// contained into typed CellErrors, failed cells may be retried (with
+// deterministic exponential backoff) a bounded number of times or cut off
+// by a per-cell wall-clock deadline, and in fail-soft mode the grid
+// finishes with the failure recorded per cell so tables render
+// ERR(reason) placeholders instead of dropping the run.
+//
+// Every grid also runs under a context: the per-cell deadline and the
+// caller's cancellation (a CLI SIGTERM, a hammerd job cancel) propagate
+// into the cell function and from there into core.Machine.RunCtx, so a
+// cut-off cell actually stops simulating instead of being abandoned to
+// burn CPU in the background.
 
 // Policy configures how experiment grids treat failing cells. The zero
-// value is the historical strict behavior: no retries, no deadline, and
-// the lowest-index error among the attempted cells aborts the grid.
+// value is the historical strict behavior: no retries, no backoff, no
+// deadline, and the lowest-index error among the attempted cells aborts
+// the grid.
 type Policy struct {
 	// FailSoft records per-cell failures and finishes the grid instead of
 	// stopping at the first error; experiments annotate the failed cells.
 	FailSoft bool
 	// Retries re-runs a failed cell up to this many extra times before
 	// recording the failure. Timed-out cells are never retried: their
-	// abandoned attempt may still be running, and a concurrent re-run
-	// could race with it.
+	// deadline is final.
 	Retries int
+	// Backoff is the base delay of the exponential backoff slept between
+	// retry attempts (0 = retry immediately, the historical behavior).
+	// The actual delay for retry k is base·2^(k-1) capped at 64·base,
+	// jittered into [d/2, d) by the deterministic sim RNG — a pure
+	// function of (grid, cell, attempt), so retried grids sleep the same
+	// schedule on every run and stay reproducible.
+	Backoff time.Duration
 	// CellTimeout is a per-cell wall-clock deadline (0 = none). The
-	// harness cannot forcibly stop a cell, so a timed-out cell's goroutine
-	// runs to completion in the background; its result is discarded.
+	// deadline cancels the cell's context; context-aware cells (anything
+	// driving core.Machine.RunCtx) unwind within the cancellation poll
+	// interval and are reaped. A cell that ignores its context is, as a
+	// last resort, abandoned to finish in the background after a grace
+	// period; its result is discarded either way.
 	CellTimeout time.Duration
 }
 
@@ -47,7 +68,7 @@ type Policy struct {
 var currentPolicy atomic.Pointer[Policy]
 
 // SetPolicy installs the package-wide grid policy. The CLIs wire their
-// -fail-soft/-retries/-cell-timeout flags here.
+// -fail-soft/-retries/-retry-backoff/-cell-timeout flags here.
 func SetPolicy(p Policy) { currentPolicy.Store(&p) }
 
 // GridPolicy returns the installed policy (zero value when unset).
@@ -76,7 +97,7 @@ func gridObserver() *obs.Recorder { return gridObs.Load() }
 
 // CellError is the typed failure of one experiment-grid cell: which grid
 // and cell, how many attempts were made, and whether the final attempt
-// errored, panicked, or exceeded its deadline.
+// errored, panicked, was cancelled, or exceeded its deadline.
 type CellError struct {
 	// Grid is the grid's identifier ("e1", ...; empty for anonymous grids).
 	Grid string
@@ -88,10 +109,13 @@ type CellError struct {
 	Panicked bool
 	// TimedOut marks a cell that exceeded Policy.CellTimeout.
 	TimedOut bool
+	// Cancelled marks a cell stopped by the grid's context (shutdown or
+	// job cancellation), as opposed to its own deadline or failure.
+	Cancelled bool
 	// Stack is the panic stack trace (empty otherwise).
 	Stack string
 	// Err is the underlying cause (the cell's error, the wrapped panic
-	// value, or the deadline error).
+	// value, the cancellation cause, or the deadline error).
 	Err error
 }
 
@@ -107,6 +131,8 @@ func (e *CellError) Error() string {
 		what = "panicked"
 	case e.TimedOut:
 		what = "timed out"
+	case e.Cancelled:
+		what = "was cancelled"
 	}
 	if e.Attempts > 1 {
 		return fmt.Sprintf("harness: %s cell %d %s after %d attempts: %v", grid, e.Index, what, e.Attempts, e.Err)
@@ -118,14 +144,17 @@ func (e *CellError) Error() string {
 func (e *CellError) Unwrap() error { return e.Err }
 
 // Reason is the short, deterministic tag rendered into ERR(...) table
-// cells: "panic" and "timeout" for contained crashes and deadlines,
-// otherwise the root cause's message, flattened and truncated.
+// cells: "panic", "timeout" and "cancelled" for contained crashes,
+// deadlines and shutdowns, otherwise the root cause's message, flattened
+// and truncated.
 func (e *CellError) Reason() string {
 	switch {
 	case e.Panicked:
 		return "panic"
 	case e.TimedOut:
 		return "timeout"
+	case e.Cancelled:
+		return "cancelled"
 	}
 	msg := "error"
 	if e.Err != nil {
@@ -162,9 +191,10 @@ type GridRun[T any] struct {
 	// instead of being computed.
 	Restored int
 
-	strict   bool
-	mu       sync.Mutex
-	failures map[int]*CellError
+	strict    bool
+	mu        sync.Mutex
+	failures  map[int]*CellError
+	cancelled error
 }
 
 // Failed returns the failure of cell i, or nil if it succeeded.
@@ -186,13 +216,18 @@ func (g *GridRun[T]) Failures() []*CellError {
 	return out
 }
 
-// Err resolves the run per the active policy: nil when every cell
-// succeeded; under fail-soft nil regardless (callers annotate via Failed);
-// otherwise the lowest-index failure — the same error a serial strict run
-// would hit first among the attempted cells.
+// Err resolves the run per the active policy: a cancelled grid always
+// reports its cancellation (a partial table must never pass for a
+// complete one, fail-soft or not); otherwise nil when every cell
+// succeeded; under fail-soft nil regardless (callers annotate via
+// Failed); otherwise the lowest-index failure — the same error a serial
+// strict run would hit first among the attempted cells.
 func (g *GridRun[T]) Err() error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.cancelled != nil {
+		return g.cancelled
+	}
 	if len(g.failures) == 0 || !g.strict {
 		return nil
 	}
@@ -206,10 +241,11 @@ func (g *GridRun[T]) Err() error {
 }
 
 // Cell renders cell i: render(result) on success, the ERR(reason)
-// placeholder on failure.
+// placeholder — annotated with the attempt count when the cell was
+// retried — on failure.
 func (g *GridRun[T]) Cell(i int, render func(T) string) string {
 	if ce := g.Failed(i); ce != nil {
-		return report.ErrCell(ce.Reason())
+		return report.ErrCellN(ce.Reason(), ce.Attempts)
 	}
 	return render(g.Results[i])
 }
@@ -245,15 +281,21 @@ func parseFailpoint(grid string) *failpoint {
 	return fp
 }
 
-// runGrid executes fn(0..n-1) on the worker pool under the current
+// runGrid executes fn(ctx, 0..n-1) on the worker pool under the current
 // Policy and checkpoint. Cells must be independent and return their
 // result instead of writing shared state: the runner assigns
 // Results[i] only when an attempt completes within its deadline, which
-// is what keeps abandoned (timed-out) attempts from racing with table
-// assembly. Parallel and serial runs produce byte-identical results;
-// so do checkpointed and uncheckpointed ones, because restored cells
-// are exact JSON round trips of values the same code computed.
-func runGrid[T any](spec GridSpec, n int, fn func(i int) (T, error)) *GridRun[T] {
+// is what keeps late (timed-out) attempts from racing with table
+// assembly. The context a cell receives carries the grid context plus
+// the per-cell deadline; cells thread it into core.Machine.RunCtx so a
+// deadline or a caller's cancellation actually stops the simulation.
+// Parallel and serial runs produce byte-identical results; so do
+// checkpointed and uncheckpointed ones, because restored cells are exact
+// JSON round trips of values the same code computed.
+func runGrid[T any](ctx context.Context, spec GridSpec, n int, fn func(ctx context.Context, i int) (T, error)) *GridRun[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pol := GridPolicy()
 	run := &GridRun[T]{
 		spec:     spec,
@@ -283,7 +325,7 @@ func runGrid[T any](spec GridSpec, n int, fn func(i int) (T, error)) *GridRun[T]
 			}
 		}
 		start := time.Now()
-		ce := runCellGuarded(spec.ID, i, pol, fp, fn, &run.Results[i])
+		ce := runCellGuarded(ctx, spec.ID, i, pol, fp, fn, &run.Results[i])
 		if bc != nil {
 			bc.recordCell(i, time.Since(start))
 		}
@@ -292,6 +334,20 @@ func runGrid[T any](spec GridSpec, n int, fn func(i int) (T, error)) *GridRun[T]
 		}
 		return ce
 	}
+	// noteCancel records the grid's cancellation once; later cells are
+	// simply not started (their Results stay zero, no failure recorded —
+	// the run as a whole reports the cancellation).
+	noteCancel := func() {
+		run.mu.Lock()
+		if run.cancelled == nil {
+			id := spec.ID
+			if id == "" {
+				id = "grid"
+			}
+			run.cancelled = fmt.Errorf("harness: %s cancelled: %w", id, context.Cause(ctx))
+		}
+		run.mu.Unlock()
+	}
 
 	workers := resolveWorkers(spec.Workers)
 	if workers > n {
@@ -299,7 +355,15 @@ func runGrid[T any](spec GridSpec, n int, fn func(i int) (T, error)) *GridRun[T]
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				noteCancel()
+				break
+			}
 			if ce := cell(i); ce != nil {
+				if ce.Cancelled {
+					noteCancel()
+					break
+				}
 				run.failures[i] = ce
 				if !pol.FailSoft {
 					break
@@ -321,11 +385,20 @@ func runGrid[T any](spec GridSpec, n int, fn func(i int) (T, error)) *GridRun[T]
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					noteCancel()
+					return
+				}
 				i := int(next.Add(1))
 				if i >= n || stop.Load() {
 					return
 				}
 				if ce := cell(i); ce != nil {
+					if ce.Cancelled {
+						noteCancel()
+						stop.Store(true)
+						return
+					}
 					run.mu.Lock()
 					run.failures[i] = ce
 					run.mu.Unlock()
@@ -343,17 +416,18 @@ func runGrid[T any](spec GridSpec, n int, fn func(i int) (T, error)) *GridRun[T]
 }
 
 // runCellGuarded runs one cell under the policy: contained panics,
-// optional deadline, bounded retries, and obs events on retry/failure.
-// On success the result is stored into *out; on timeout *out is left
-// untouched so the abandoned attempt cannot race with readers.
-func runCellGuarded[T any](grid string, i int, pol Policy, fp *failpoint, fn func(i int) (T, error), out *T) *CellError {
+// optional deadline, bounded retries with deterministic backoff, and obs
+// events on retry/failure. On success the result is stored into *out; on
+// timeout *out is left untouched so a late attempt cannot race with
+// readers.
+func runCellGuarded[T any](ctx context.Context, grid string, i int, pol Policy, fp *failpoint, fn func(ctx context.Context, i int) (T, error), out *T) *CellError {
 	attempts := 1 + pol.Retries
 	if attempts < 1 {
 		attempts = 1
 	}
 	var last *CellError
 	for a := 1; a <= attempts; a++ {
-		wrapped := func() (T, error) {
+		wrapped := func(cctx context.Context) (T, error) {
 			if fp != nil && fp.index == i {
 				switch fp.mode {
 				case "panic":
@@ -368,20 +442,21 @@ func runCellGuarded[T any](grid string, i int, pol Policy, fp *failpoint, fn fun
 					return zero, fmt.Errorf("injected failure (%s)", failCellEnv)
 				}
 			}
-			return fn(i)
+			return fn(cctx, i)
 		}
-		v, err, panicked, timedOut, stack := attemptCell(wrapped, pol.CellTimeout)
+		v, err, panicked, timedOut, cancelled, stack := attemptCell(ctx, wrapped, pol.CellTimeout)
 		if err == nil {
 			*out = v
 			return nil
 		}
 		last = &CellError{
 			Grid: grid, Index: i, Attempts: a,
-			Panicked: panicked, TimedOut: timedOut, Stack: stack, Err: err,
+			Panicked: panicked, TimedOut: timedOut, Cancelled: cancelled,
+			Stack: stack, Err: err,
 		}
-		if timedOut {
-			// The abandoned goroutine may still be running; a retry
-			// would race with it. The deadline is final.
+		if timedOut || cancelled {
+			// The deadline is final, and a cancelled grid must stop, not
+			// retry.
 			break
 		}
 		if a < attempts {
@@ -389,6 +464,10 @@ func runCellGuarded[T any](grid string, i int, pol Policy, fp *failpoint, fn fun
 				Kind: obs.KindCellRetry, Bank: -1, Row: -1, Domain: -1,
 				Line: uint64(i), Arg: uint64(a),
 			})
+			if pol.Backoff > 0 && !sleepBackoff(ctx, pol.Backoff, grid, i, a) {
+				last.Cancelled = true
+				break
+			}
 		}
 	}
 	gridObserver().Emit(obs.Event{
@@ -398,15 +477,72 @@ func runCellGuarded[T any](grid string, i int, pol Policy, fp *failpoint, fn fun
 	return last
 }
 
-// attemptCell runs fn once with panic containment and, when timeout > 0,
-// a wall-clock deadline. The deadline path runs fn on its own goroutine;
-// on expiry the attempt is abandoned (the goroutine finishes in the
-// background, its result discarded) and the cell reports TimedOut.
-func attemptCell[T any](fn func() (T, error), timeout time.Duration) (v T, err error, panicked, timedOut bool, stack string) {
-	if timeout <= 0 {
-		v, err, panicked, stack = callContained(fn)
-		return v, err, panicked, false, stack
+// RetryBackoff returns the delay slept before retry `attempt` (the
+// 1-based count of failed attempts so far) of the given grid cell:
+// base·2^(attempt-1), capped at 64·base, jittered into [d/2, d). The
+// jitter comes from the deterministic sim RNG, forked from an FNV hash of
+// (grid, cell) at the attempt index — a pure function of its arguments,
+// never of wall clock or scheduling, so a retried grid sleeps the same
+// schedule on every run.
+func RetryBackoff(base time.Duration, grid string, cell, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
 	}
+	d := base
+	for k := 1; k < attempt && d < 64*base; k++ {
+		d *= 2
+	}
+	if d > 64*base {
+		d = 64 * base
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", grid, cell)
+	rng := sim.NewRNG(h.Sum64()).ForkAt(uint64(attempt))
+	half := d / 2
+	return half + time.Duration(rng.Float64()*float64(half))
+}
+
+// sleepBackoff sleeps the deterministic retry backoff, aborting early if
+// the grid is cancelled. Reports whether the retry should proceed.
+func sleepBackoff(ctx context.Context, base time.Duration, grid string, cell, attempt int) bool {
+	d := RetryBackoff(base, grid, cell, attempt)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// cellCancelGrace is how long a timed-out or cancelled attempt is given
+// to observe its context and unwind before the harness falls back to
+// abandoning its goroutine. Context-aware cells (everything built on
+// core.Machine.RunCtx) unwind within the cancellation poll interval —
+// well under a millisecond of simulation — so in practice the grace
+// window is never exhausted; it exists so a cell that ignores its
+// context cannot wedge the grid.
+var cellCancelGrace = 10 * time.Second
+
+// attemptCell runs fn once with panic containment under a context that
+// carries the grid's cancellation plus, when timeout > 0, the per-cell
+// deadline. The deadline path runs fn on its own goroutine; on expiry
+// the attempt's context is cancelled and the goroutine is reaped within
+// cellCancelGrace (true cancellation — see the goroutine-leak regression
+// test). Only if the cell ignores its context is it abandoned to finish
+// in the background, its result discarded.
+func attemptCell[T any](ctx context.Context, fn func(ctx context.Context) (T, error), timeout time.Duration) (v T, err error, panicked, timedOut, cancelled bool, stack string) {
+	if timeout <= 0 {
+		v, err, panicked, stack = callContained(ctx, fn)
+		cancelled = err != nil && !panicked && ctx.Err() != nil
+		return v, err, panicked, false, cancelled, stack
+	}
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
 	type outcome struct {
 		v        T
 		err      error
@@ -416,23 +552,44 @@ func attemptCell[T any](fn func() (T, error), timeout time.Duration) (v T, err e
 	ch := make(chan outcome, 1)
 	go func() {
 		var o outcome
-		o.v, o.err, o.panicked, o.stack = callContained(fn)
+		o.v, o.err, o.panicked, o.stack = callContained(cctx, fn)
 		ch <- o
 	}()
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
 	select {
 	case o := <-ch:
-		return o.v, o.err, o.panicked, false, o.stack
-	case <-timer.C:
-		var zero T
-		return zero, fmt.Errorf("cell exceeded %v deadline", timeout), false, true, ""
+		if o.err != nil && !o.panicked {
+			// Classify errors surfacing exactly as the context dies: the
+			// deadline marks a timeout, the parent context a cancellation.
+			timedOut = errors.Is(cctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil
+			cancelled = ctx.Err() != nil
+		}
+		return o.v, o.err, o.panicked, timedOut, cancelled, o.stack
+	case <-cctx.Done():
 	}
+	// Deadline or grid cancellation fired before the attempt finished.
+	// cancel() has implicitly happened via cctx; give the (context-aware)
+	// cell the grace window to unwind, then fall back to abandonment.
+	reaped := false
+	grace := time.NewTimer(cellCancelGrace)
+	defer grace.Stop()
+	select {
+	case <-ch:
+		reaped = true // result discarded: the attempt missed its deadline
+	case <-grace.C:
+	}
+	var zero T
+	if ctx.Err() != nil {
+		return zero, fmt.Errorf("cell cancelled: %w", context.Cause(ctx)), false, false, true, ""
+	}
+	if reaped {
+		return zero, fmt.Errorf("cell exceeded %v deadline (attempt cancelled)", timeout), false, true, false, ""
+	}
+	return zero, fmt.Errorf("cell exceeded %v deadline (attempt ignored cancellation, abandoned)", timeout), false, true, false, ""
 }
 
 // callContained invokes fn, converting a panic into an error plus its
 // stack trace.
-func callContained[T any](fn func() (T, error)) (v T, err error, panicked bool, stack string) {
+func callContained[T any](ctx context.Context, fn func(ctx context.Context) (T, error)) (v T, err error, panicked bool, stack string) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
@@ -440,16 +597,28 @@ func callContained[T any](fn func() (T, error)) (v T, err error, panicked bool, 
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	v, err = fn()
+	v, err = fn(ctx)
 	return v, err, false, ""
 }
 
 // Guarded applies the current Policy to a single non-grid run (panic
-// containment, retries, deadline): cmd/hammersim routes its one scenario
-// through it so a crash or hang degrades into a reportable *CellError.
-// The result is assigned only when an attempt completes in time.
+// containment, retries with backoff, deadline): cmd/hammersim routes its
+// one scenario through it so a crash or hang degrades into a reportable
+// *CellError. The result is assigned only when an attempt completes in
+// time.
 func Guarded[T any](label string, fn func() (T, error)) (T, *CellError) {
+	return GuardedCtx(context.Background(), label, func(context.Context) (T, error) { return fn() })
+}
+
+// GuardedCtx is Guarded under a caller context: the context (plus the
+// policy's deadline) reaches fn, so cancelling it actually stops the
+// scenario.
+func GuardedCtx[T any](ctx context.Context, label string, fn func(ctx context.Context) (T, error)) (T, *CellError) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var v T
-	ce := runCellGuarded(label, 0, GridPolicy(), parseFailpoint(label), func(int) (T, error) { return fn() }, &v)
+	ce := runCellGuarded(ctx, label, 0, GridPolicy(), parseFailpoint(label),
+		func(cctx context.Context, _ int) (T, error) { return fn(cctx) }, &v)
 	return v, ce
 }

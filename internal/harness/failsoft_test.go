@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -26,7 +27,7 @@ func resetRobustness(t *testing.T) {
 func TestRunGridContainsPanics(t *testing.T) {
 	resetRobustness(t)
 	for _, workers := range []int{1, 4} {
-		run := runGrid(GridSpec{ID: "t-panic", Workers: workers}, 8, func(i int) (int, error) {
+		run := runGrid(context.Background(), GridSpec{ID: "t-panic", Workers: workers}, 8, func(_ context.Context, i int) (int, error) {
 			if i == 3 {
 				panic("boom")
 			}
@@ -55,7 +56,7 @@ func TestRunGridContainsPanics(t *testing.T) {
 func TestRunGridStrictReportsLowestIndexFailure(t *testing.T) {
 	resetRobustness(t)
 	for _, workers := range []int{1, 4} {
-		run := runGrid(GridSpec{ID: "t-low", Workers: workers}, 16, func(i int) (int, error) {
+		run := runGrid(context.Background(), GridSpec{ID: "t-low", Workers: workers}, 16, func(_ context.Context, i int) (int, error) {
 			if i == 5 || i == 11 {
 				return 0, fmt.Errorf("cell %d broke", i)
 			}
@@ -81,7 +82,7 @@ func TestRunGridFailSoftCompletesGrid(t *testing.T) {
 	SetPolicy(Policy{FailSoft: true})
 	for _, workers := range []int{1, 4} {
 		var calls atomic.Int64
-		run := runGrid(GridSpec{ID: "t-soft", Workers: workers}, 6, func(i int) (int, error) {
+		run := runGrid(context.Background(), GridSpec{ID: "t-soft", Workers: workers}, 6, func(_ context.Context, i int) (int, error) {
 			calls.Add(1)
 			switch i {
 			case 2:
@@ -129,7 +130,7 @@ func TestRunGridRetriesFlakyCell(t *testing.T) {
 	ring := obs.NewRing(64)
 	SetGridObserver(obs.NewRecorder(ring))
 	var attempts atomic.Int64
-	run := runGrid(GridSpec{ID: "t-retry", Workers: 1}, 3, func(i int) (int, error) {
+	run := runGrid(context.Background(), GridSpec{ID: "t-retry", Workers: 1}, 3, func(_ context.Context, i int) (int, error) {
 		if i == 1 {
 			if attempts.Add(1) < 3 {
 				return 0, errors.New("transient")
@@ -159,7 +160,7 @@ func TestRunGridRetryExhaustionEmitsFailure(t *testing.T) {
 	SetPolicy(Policy{Retries: 1})
 	ring := obs.NewRing(64)
 	SetGridObserver(obs.NewRecorder(ring))
-	run := runGrid(GridSpec{ID: "t-exhaust", Workers: 1}, 2, func(i int) (int, error) {
+	run := runGrid(context.Background(), GridSpec{ID: "t-exhaust", Workers: 1}, 2, func(_ context.Context, i int) (int, error) {
 		if i == 0 {
 			return 0, errors.New("permanent")
 		}
@@ -186,7 +187,7 @@ func TestRunGridCellTimeout(t *testing.T) {
 	// may still be running and a re-run could race with it.
 	SetPolicy(Policy{FailSoft: true, Retries: 3, CellTimeout: 10 * time.Millisecond})
 	var attempts atomic.Int64
-	run := runGrid(GridSpec{ID: "t-slow", Workers: 1}, 2, func(i int) (int, error) {
+	run := runGrid(context.Background(), GridSpec{ID: "t-slow", Workers: 1}, 2, func(_ context.Context, i int) (int, error) {
 		if i == 0 {
 			attempts.Add(1)
 			time.Sleep(200 * time.Millisecond)
@@ -217,20 +218,20 @@ func TestRunGridCellTimeout(t *testing.T) {
 func TestRunGridFailpointInjection(t *testing.T) {
 	resetRobustness(t)
 	t.Setenv(failCellEnv, "t-inj:1:panic")
-	run := runGrid(GridSpec{ID: "t-inj", Workers: 1}, 3, func(i int) (int, error) { return i, nil })
+	run := runGrid(context.Background(), GridSpec{ID: "t-inj", Workers: 1}, 3, func(_ context.Context, i int) (int, error) { return i, nil })
 	var ce *CellError
 	if err := run.Err(); !errors.As(err, &ce) || !ce.Panicked || ce.Index != 1 {
 		t.Fatalf("injected panic not reported: %v", run.Err())
 	}
 	// Other grids are untouched by the failpoint.
-	other := runGrid(GridSpec{ID: "t-other", Workers: 1}, 3, func(i int) (int, error) { return i, nil })
+	other := runGrid(context.Background(), GridSpec{ID: "t-other", Workers: 1}, 3, func(_ context.Context, i int) (int, error) { return i, nil })
 	if err := other.Err(); err != nil {
 		t.Fatalf("failpoint leaked into another grid: %v", err)
 	}
 	// "once" mode fails only the first attempt, so one retry recovers.
 	SetPolicy(Policy{Retries: 1})
 	t.Setenv(failCellEnv, "t-inj:0:once")
-	again := runGrid(GridSpec{ID: "t-inj", Workers: 1}, 2, func(i int) (int, error) { return i + 7, nil })
+	again := runGrid(context.Background(), GridSpec{ID: "t-inj", Workers: 1}, 2, func(_ context.Context, i int) (int, error) { return i + 7, nil })
 	if err := again.Err(); err != nil {
 		t.Fatalf("transient injected failure did not recover: %v", err)
 	}

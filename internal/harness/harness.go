@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -136,6 +137,15 @@ func (o AttackOutcome) Succeeded() bool { return o.CrossFlips > 0 }
 // executes the attack from tenant 1 while the other tenants run benign
 // workloads, and reports the outcome.
 func RunAttack(spec core.MachineSpec, d core.Defense, kind attack.Kind, opts AttackOpts) (AttackOutcome, error) {
+	return RunAttackCtx(context.Background(), spec, d, kind, opts)
+}
+
+// RunAttackCtx is RunAttack under cooperative cancellation: the context
+// reaches core.Machine.RunCtx, so cancelling it (a cell deadline, a CLI
+// SIGTERM, a hammerd job cancel) tears the simulation down at the next
+// cancellation point instead of abandoning it. The returned error wraps
+// core.ErrCancelled and the context's cause.
+func RunAttackCtx(ctx context.Context, spec core.MachineSpec, d core.Defense, kind attack.Kind, opts AttackOpts) (AttackOutcome, error) {
 	opts.applyDefaults()
 	m, err := core.BuildWithDefense(spec, d)
 	if err != nil {
@@ -217,7 +227,7 @@ func RunAttack(spec core.MachineSpec, d core.Defense, kind attack.Kind, opts Att
 		oc.ObserveCores(cores)
 	}
 
-	res, err := m.Run(agents, opts.Horizon)
+	res, err := m.RunCtx(ctx, agents, opts.Horizon)
 	if err != nil {
 		return AttackOutcome{}, err
 	}

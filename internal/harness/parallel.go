@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 )
@@ -64,7 +65,7 @@ func resolveWorkers(requested int) int {
 // results (and that want checkpointing and ERR() annotation) use runGrid
 // directly; runCells remains for side-effect-only grids.
 func runCells(workers, n int, fn func(i int) error) error {
-	run := runGrid(GridSpec{Workers: workers}, n, func(i int) (struct{}, error) {
+	run := runGrid(context.Background(), GridSpec{Workers: workers}, n, func(_ context.Context, i int) (struct{}, error) {
 		return struct{}{}, fn(i)
 	})
 	return run.Err()

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -83,7 +84,7 @@ func TestRunCellsResolvesWorkers(t *testing.T) {
 func TestE1MatrixParallelDeterminism(t *testing.T) {
 	defenses := []string{"none", "trr", "swrefresh", "anvil"}
 	run := func(workers int) string {
-		tb, err := E1Matrix(defenses, 8, AttackOpts{Horizon: 600_000, Parallelism: workers})
+		tb, err := E1Matrix(context.Background(), defenses, 8, AttackOpts{Horizon: 600_000, Parallelism: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -105,7 +106,7 @@ func TestE2ParallelDeterminism(t *testing.T) {
 	run := func(workers int) string {
 		SetParallelism(workers)
 		defer SetParallelism(0)
-		tb, _, err := E2Interleaving(300_000)
+		tb, _, err := E2Interleaving(context.Background(), 300_000)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

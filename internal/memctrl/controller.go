@@ -86,6 +86,7 @@ type Controller struct {
 	rng   *sim.RNG
 	stats *sim.Stats
 	rec   *obs.Recorder
+	gate  *sim.Canceler
 
 	// Hot-path histogram handles (skip the stats map lookup per request).
 	interACT *sim.Histogram
@@ -510,9 +511,34 @@ func (c *Controller) RefreshNeighborsCmd(line uint64, radius int, domain int, no
 	return ServiceResult{Start: start, Completion: completion}, nil
 }
 
+// SetCanceler installs (or, with nil, removes) the cooperative
+// cancellation gate honored by long idle advances. The gate never alters
+// which commands are issued at which cycles — a cancelled advance issues
+// a prefix of the refreshes an uncancelled one would, all fully applied —
+// so simulation results are byte-identical whenever the gate stays open.
+func (c *Controller) SetCanceler(g *sim.Canceler) { c.gate = g }
+
+// advanceChunkRefs bounds the REF commands issued between cancellation
+// polls during an idle advance: a multi-second catch-up (a huge horizon
+// jump) observes cancellation within ~1k refresh epochs instead of
+// running to completion.
+const advanceChunkRefs = 1024
+
 // AdvanceTo runs the refresh schedule forward to cycle without serving any
-// request (idle time).
+// request (idle time). The advance is chunked so a cancelled run stops
+// within advanceChunkRefs refresh epochs; every refresh issued before the
+// stop is fully applied, leaving auditor-consistent state.
 func (c *Controller) AdvanceTo(cycle uint64) {
+	for c.nextRef <= cycle {
+		if c.gate.Tripped() {
+			return
+		}
+		limit := c.nextRef + (advanceChunkRefs-1)*c.timing.TREFI
+		if limit > cycle || limit < c.nextRef { // clamp (and guard overflow)
+			limit = cycle
+		}
+		c.catchUpRefresh(limit)
+	}
 	c.catchUpRefresh(cycle)
 	if cycle > c.now {
 		c.now = cycle

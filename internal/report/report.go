@@ -42,6 +42,17 @@ const errCellPrefix = "ERR("
 // marks exactly where the grid degraded.
 func ErrCell(reason string) string { return errCellPrefix + reason + ")" }
 
+// ErrCellN is ErrCell annotated with the attempt count: a cell that
+// failed after retries renders as ERR(reason x3), recording how many
+// times the harness tried before giving up. attempts <= 1 renders
+// exactly like ErrCell, so tables without retries are unchanged.
+func ErrCellN(reason string, attempts int) string {
+	if attempts <= 1 {
+		return ErrCell(reason)
+	}
+	return fmt.Sprintf("%s%s x%d)", errCellPrefix, reason, attempts)
+}
+
 // IsErrCell reports whether a cell is a failure placeholder.
 func IsErrCell(cell string) bool { return strings.HasPrefix(cell, errCellPrefix) }
 

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Admission control: the daemon sheds load instead of queueing without
+// bound. Two independent gates run in front of the session pool —
+//
+//   - a bounded job queue: submissions beyond QueueDepth are rejected
+//     with 429 and a Retry-After estimated from the queue's drain rate,
+//     so a saturated daemon pushes back instead of accumulating
+//     hours of simulation debt;
+//
+//   - per-client token buckets: each client (remote address or
+//     X-Hammertime-Client header) refills at RatePerSec up to Burst
+//     tokens, so one chatty client cannot starve the rest.
+//
+// Both reject early, before any simulation state is allocated.
+
+// bucket is one client's token bucket. Tokens are fractional so slow
+// refill rates (e.g. 0.5/s) work.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// limiter holds the per-client buckets.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // test hook
+}
+
+// newLimiter builds a limiter; rate <= 0 disables limiting.
+func newLimiter(rate float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow consumes one token from client's bucket. When the bucket is
+// empty it reports false plus how long until the next token accrues —
+// the Retry-After the HTTP layer sends back.
+func (l *limiter) allow(client string) (bool, time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[client]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}

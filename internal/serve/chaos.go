@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hammertime/internal/sim"
+)
+
+// Chaos is the fault-injection middleware of the session pool: before a
+// session runs a job it rolls for injected latency, an injected panic
+// (which must be contained by the pool's per-session isolation, not kill
+// the daemon), and an injected cancellation (which must tear the job
+// down exactly like a client DELETE). It extends the philosophy of the
+// harness's HAMMERTIME_FAIL_CELL failpoint from single cells to the
+// serving layer: the soak test runs a busy daemon under all three
+// faults and asserts the pool stays healthy.
+//
+// Randomness comes from a seeded sim.RNG behind a mutex, so a chaos
+// schedule is reproducible for a given seed and roll sequence (the
+// arrival order of jobs still varies — chaos soaks are stress tests,
+// not golden tests).
+type Chaos struct {
+	// Latency is the injected pre-run delay; LatencyP its probability.
+	Latency  time.Duration
+	LatencyP float64
+	// PanicP is the probability a session panics mid-job.
+	PanicP float64
+	// CancelP is the probability the job's context is cancelled mid-run.
+	CancelP float64
+
+	mu  sync.Mutex
+	rng *sim.RNG
+}
+
+// ParseChaos parses a chaos spec like "latency=20ms:0.5,panic:0.1,
+// cancel:0.2" (any subset, comma-separated) into a seeded Chaos. An
+// empty spec returns nil: chaos disabled.
+func ParseChaos(spec string, seed uint64) (*Chaos, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	c := &Chaos{rng: sim.NewRNG(seed)}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		head, probStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("serve: chaos %q: want fault:probability", part)
+		}
+		prob, err := strconv.ParseFloat(probStr, 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("serve: chaos %q: bad probability %q", part, probStr)
+		}
+		switch {
+		case strings.HasPrefix(head, "latency="):
+			d, err := time.ParseDuration(strings.TrimPrefix(head, "latency="))
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("serve: chaos %q: bad latency duration", part)
+			}
+			c.Latency, c.LatencyP = d, prob
+		case head == "panic":
+			c.PanicP = prob
+		case head == "cancel":
+			c.CancelP = prob
+		default:
+			return nil, fmt.Errorf("serve: chaos %q: unknown fault (want latency=<dur>, panic, cancel)", part)
+		}
+	}
+	return c, nil
+}
+
+// roll draws one uniform sample; nil-safe (never fires when disabled).
+func (c *Chaos) roll(p float64) bool {
+	if c == nil || p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Bool(p)
+}
+
+// String renders the active spec (for startup logs).
+func (c *Chaos) String() string {
+	if c == nil {
+		return "off"
+	}
+	var parts []string
+	if c.LatencyP > 0 {
+		parts = append(parts, fmt.Sprintf("latency=%v:%g", c.Latency, c.LatencyP))
+	}
+	if c.PanicP > 0 {
+		parts = append(parts, fmt.Sprintf("panic:%g", c.PanicP))
+	}
+	if c.CancelP > 0 {
+		parts = append(parts, fmt.Sprintf("cancel:%g", c.CancelP))
+	}
+	if len(parts) == 0 {
+		return "off"
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The HTTP/JSON surface of hammerd. Everything is plain net/http over
+// the Manager — submit, status, result, cancel, plus the operational
+// trio (healthz, readyz, metrics):
+//
+//	POST   /v1/jobs             {"experiment":"e1","horizon":400000}  -> 202 JobView
+//	GET    /v1/jobs             -> {"jobs":[JobView...]} (newest first)
+//	GET    /v1/jobs/{id}        -> JobView
+//	GET    /v1/jobs/{id}/result -> the rendered table (text/plain)
+//	DELETE /v1/jobs/{id}        -> cancels; 202 JobView
+//	GET    /healthz             -> 200 while the daemon lives
+//	GET    /readyz              -> 200 accepting, 503 draining
+//	GET    /metrics             -> server + job counters (JSON)
+//
+// Admission errors are typed: 429 + Retry-After for a full queue or an
+// over-rate client, 503 + Retry-After while draining. Clients are
+// keyed by the X-Hammertime-Client header when present, else by remote
+// address, so smoke tests and multi-tenant callers can pin identities.
+
+// NewHandler builds the daemon's HTTP handler over m.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+			return
+		}
+		job, err := m.Submit(clientKey(r), req)
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.View())
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		max := 0
+		if v := r.URL.Query().Get("max"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				max = n
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": m.Jobs(max)})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.View())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		table, ok := job.Result()
+		if !ok {
+			v := job.View()
+			if v.State.Terminal() {
+				httpError(w, http.StatusConflict,
+					fmt.Errorf("serve: job %s %s: %s", job.ID, v.State, v.Error))
+				return
+			}
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("serve: job %s is %s; poll GET /v1/jobs/%s", job.ID, v.State, job.ID))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, table)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.View())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !m.Ready() {
+			w.Header().Set("Retry-After", "5")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Metrics())
+	})
+	return mux
+}
+
+// clientKey identifies the submitting client for rate limiting.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-Hammertime-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// writeSubmitError maps Submit's typed errors onto status codes.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var over *OverloadError
+	switch {
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "30")
+		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.As(err, &over):
+		secs := int(over.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusTooManyRequests, err)
+	default:
+		httpError(w, http.StatusBadRequest, err)
+	}
+}
+
+// httpError renders an error as {"error": "..."} with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a session.
+	StateQueued JobState = "queued"
+	// StateRunning: a session is simulating it.
+	StateRunning JobState = "running"
+	// StateDone: finished; the result table is available.
+	StateDone JobState = "done"
+	// StateFailed: the run errored or its session panicked.
+	StateFailed JobState = "failed"
+	// StateCancelled: torn down by a client cancel, the job deadline, or
+	// daemon shutdown, via the same cooperative cancellation path the
+	// harness uses (core.ErrCancelled).
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobRequest is the client's submission: which experiment to run and how
+// far. It is the unit of admission control — everything here is
+// validated before the job is queued.
+type JobRequest struct {
+	// Experiment is the experiment id (e1..e10).
+	Experiment string `json:"experiment"`
+	// Horizon is the simulation horizon in cycles (0 = experiment default).
+	Horizon uint64 `json:"horizon,omitempty"`
+	// Timeout overrides the daemon's per-job deadline for this job
+	// (capped at the daemon's; 0 = daemon default).
+	Timeout Duration `json:"timeout,omitempty"`
+}
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("30s") instead of nanoseconds, so curl requests stay writable.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a quoted Go duration string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", time.Duration(d).String())), nil
+}
+
+// UnmarshalJSON accepts either a quoted Go duration string or a number
+// of nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		parsed, err := time.ParseDuration(s[1 : len(s)-1])
+		if err != nil {
+			return fmt.Errorf("serve: bad duration %s: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var ns int64
+	if _, err := fmt.Sscan(s, &ns); err != nil {
+		return fmt.Errorf("serve: bad duration %s", s)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Job is one submitted simulation. All mutable fields are guarded by mu;
+// JobView is the lock-free snapshot handed to the HTTP layer.
+type Job struct {
+	ID      string
+	Client  string
+	Request JobRequest
+
+	mu        sync.Mutex
+	state     JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	table     string // rendered result table (StateDone)
+	errMsg    string // failure/cancellation cause (terminal non-done states)
+
+	// cancel tears down the job: pre-run it marks the job cancelled
+	// directly, mid-run it cancels the session's context and the
+	// simulation unwinds cooperatively. Set at submission.
+	cancel context.CancelCauseFunc
+	// runCtx is the job's context (derived from the manager's base
+	// context at submission); the session threads it into the harness.
+	runCtx context.Context
+
+	done chan struct{} // closed on any terminal transition
+}
+
+// JobView is an immutable snapshot of a job for status responses.
+type JobView struct {
+	ID         string     `json:"id"`
+	Experiment string     `json:"experiment"`
+	Horizon    uint64     `json:"horizon,omitempty"`
+	State      JobState   `json:"state"`
+	Submitted  time.Time  `json:"submitted"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
+	Error      string     `json:"error,omitempty"`
+}
+
+// View snapshots the job under its lock.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:         j.ID,
+		Experiment: j.Request.Experiment,
+		Horizon:    j.Request.Horizon,
+		State:      j.state,
+		Submitted:  j.submitted,
+		Error:      j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the rendered table, or false until the job is done.
+func (j *Job) Result() (string, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.table, j.state == StateDone
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// transition moves the job to state under its lock; terminal
+// transitions are idempotent and first-wins (a job cancelled while its
+// session is finishing stays cancelled). Reports whether the
+// transition applied.
+func (j *Job) transition(state JobState, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.errMsg = errMsg
+	switch state {
+	case StateRunning:
+		j.started = time.Now()
+	case StateDone, StateFailed, StateCancelled:
+		j.finished = time.Now()
+		close(j.done)
+	}
+	return true
+}
+
+// setResult records the rendered table and marks the job done.
+func (j *Job) setResult(table string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.table = table
+	j.state = StateDone
+	j.finished = time.Now()
+	close(j.done)
+	return true
+}

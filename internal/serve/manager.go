@@ -1,0 +1,418 @@
+// Package serve is the simulation-as-a-service layer behind cmd/hammerd:
+// a bounded pool of simulation sessions fed by an admission-controlled
+// job queue over the experiment harness. It exists because the paper's
+// grids are minutes-long batch jobs: a daemon that accepts them must
+// bound its own concurrency (session pool), shed load instead of
+// queueing without bound (bounded queue + per-client token buckets, 429
+// with Retry-After), survive a crashing simulation (per-session panic
+// isolation), stop a running one on request (the cooperative
+// cancellation threaded through core.Machine.RunCtx — a cancelled job
+// tears its machine down auditor-consistent, it is not abandoned), and
+// drain gracefully on SIGTERM (finish running jobs, reject new ones,
+// then exit 0). The chaos middleware (chaos.go) injects latency, panics
+// and cancellations into the pool so those properties stay tested.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hammertime/internal/harness"
+	"hammertime/internal/sim"
+)
+
+// RunFunc executes one job's simulation and returns the rendered result
+// table. The default runs the harness experiment dispatcher; tests
+// substitute fast fakes.
+type RunFunc func(ctx context.Context, req JobRequest) (string, error)
+
+// Config parametrizes a Manager. The zero value serves: 2 sessions, an
+// 8-deep queue, 5 submissions/s/client with burst 10, no job deadline,
+// no chaos.
+type Config struct {
+	// Sessions is the pool size: at most this many jobs simulate
+	// concurrently (0 = 2).
+	Sessions int
+	// QueueDepth bounds the jobs waiting for a session; submissions
+	// beyond it are shed with 429 + Retry-After (0 = 8).
+	QueueDepth int
+	// RatePerSec and Burst parametrize the per-client token buckets
+	// (RatePerSec 0 = 5/s; < 0 disables limiting; Burst 0 = 10).
+	RatePerSec float64
+	Burst      int
+	// JobTimeout is the per-job running deadline (0 = none). A request's
+	// own Timeout may only tighten it.
+	JobTimeout time.Duration
+	// Chaos, when non-nil, injects faults into the pool (see chaos.go).
+	Chaos *Chaos
+	// Run overrides the simulation runner (nil = harness.Experiment).
+	Run RunFunc
+}
+
+func (c *Config) applyDefaults() {
+	if c.Sessions <= 0 {
+		c.Sessions = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.RatePerSec == 0 {
+		c.RatePerSec = 5
+	}
+	if c.Burst <= 0 {
+		c.Burst = 10
+	}
+	if c.Run == nil {
+		c.Run = func(ctx context.Context, req JobRequest) (string, error) {
+			tb, err := harness.Experiment(ctx, req.Experiment, req.Horizon, harness.AttackOpts{})
+			if err != nil {
+				return "", err
+			}
+			return tb.String(), nil
+		}
+	}
+}
+
+// ErrDraining rejects submissions while the daemon is shutting down.
+var ErrDraining = errors.New("serve: draining, not accepting new jobs")
+
+// ErrUnknownJob marks lookups of job ids the daemon has never seen.
+var ErrUnknownJob = errors.New("serve: unknown job")
+
+// OverloadError is a shed submission: the queue is full or the client
+// is over its rate. The HTTP layer renders it as 429 with Retry-After.
+type OverloadError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: overloaded (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// errChaosCancel is the cancellation cause injected by chaos middleware.
+var errChaosCancel = errors.New("serve: chaos: injected cancellation")
+
+// Manager owns the session pool, the job queue and the job registry.
+type Manager struct {
+	cfg     Config
+	limiter *limiter
+
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	queue    chan *Job
+	draining bool
+
+	running atomic.Int64
+	nextID  atomic.Uint64
+	wg      sync.WaitGroup
+
+	statsMu sync.Mutex
+	stats   *sim.Stats
+}
+
+// NewManager builds the manager and starts its session pool.
+func NewManager(cfg Config) *Manager {
+	cfg.applyDefaults()
+	ctx, cancel := context.WithCancelCause(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		limiter:    newLimiter(cfg.RatePerSec, cfg.Burst),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		stats:      &sim.Stats{},
+	}
+	// Job latency buckets: 1ms up through ~1h (simulation grids are
+	// minutes-long; the default 1s-based buckets would flatten them).
+	m.stats.NewHistogram("serve.job.seconds", sim.ExpBuckets(0.001, 4, 12))
+	for i := 0; i < cfg.Sessions; i++ {
+		m.wg.Add(1)
+		go m.session(i)
+	}
+	return m
+}
+
+// count bumps a server counter (the stats object is shared across
+// sessions and HTTP handlers, hence the mutex).
+func (m *Manager) count(name string) {
+	m.statsMu.Lock()
+	m.stats.Inc(name)
+	m.statsMu.Unlock()
+}
+
+// Metrics snapshots the server counters plus live gauges.
+func (m *Manager) Metrics() sim.StatsSnapshot {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	m.stats.SetGauge("serve.sessions", float64(m.cfg.Sessions))
+	m.stats.SetGauge("serve.queue.depth", float64(len(m.queue)))
+	m.stats.SetGauge("serve.queue.capacity", float64(m.cfg.QueueDepth))
+	m.stats.SetGauge("serve.jobs.running", float64(m.running.Load()))
+	return m.stats.Snapshot()
+}
+
+// Ready reports whether the daemon accepts new jobs (false once
+// draining). Liveness is the process itself: /healthz answers 200 as
+// long as the HTTP loop runs.
+func (m *Manager) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.draining
+}
+
+// Submit validates, rate-limits and enqueues a job. The typed errors
+// map to HTTP: ErrDraining -> 503, *OverloadError -> 429 + Retry-After,
+// anything else -> 400.
+func (m *Manager) Submit(client string, req JobRequest) (*Job, error) {
+	if !harness.ValidExperiment(req.Experiment) {
+		m.count("serve.jobs.rejected.invalid")
+		return nil, fmt.Errorf("serve: unknown experiment %q (want one of %v)",
+			req.Experiment, harness.ExperimentIDs())
+	}
+	if req.Timeout < 0 {
+		m.count("serve.jobs.rejected.invalid")
+		return nil, fmt.Errorf("serve: negative timeout %v", time.Duration(req.Timeout))
+	}
+	if ok, retry := m.limiter.allow(client); !ok {
+		m.count("serve.jobs.rejected.rate")
+		return nil, &OverloadError{Reason: "client rate limit", RetryAfter: retry}
+	}
+
+	jctx, cancel := context.WithCancelCause(m.baseCtx)
+	job := &Job{
+		ID:        fmt.Sprintf("job-%d", m.nextID.Add(1)),
+		Client:    client,
+		Request:   req,
+		state:     StateQueued,
+		submitted: time.Now(),
+		cancel:    cancel,
+		done:      make(chan struct{}),
+	}
+	job.runCtx = jctx
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		cancel(ErrDraining)
+		m.count("serve.jobs.rejected.draining")
+		return nil, ErrDraining
+	}
+	select {
+	case m.queue <- job:
+		m.jobs[job.ID] = job
+		m.mu.Unlock()
+		m.count("serve.jobs.submitted")
+		return job, nil
+	default:
+		m.mu.Unlock()
+		cancel(errors.New("serve: queue full"))
+		m.count("serve.jobs.rejected.queue")
+		// A rough drain estimate: assume each queued job holds a session
+		// for at least a second; deeper queues push Retry-After out.
+		retry := time.Duration(1+m.cfg.QueueDepth/m.cfg.Sessions) * time.Second
+		return nil, &OverloadError{Reason: "queue full", RetryAfter: retry}
+	}
+}
+
+// Get returns the job by id.
+func (m *Manager) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	return job, nil
+}
+
+// Cancel tears the job down: a queued job is marked cancelled before a
+// session ever picks it up; a running job has its context cancelled and
+// the simulation unwinds at its next cancellation point.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	job, err := m.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	cause := errors.New("serve: cancelled by client")
+	job.cancel(cause)
+	// Pre-run (queued) jobs transition here; running jobs transition in
+	// the session once the simulation unwinds, keeping state truthful —
+	// "cancelled" means the machine is actually torn down.
+	job.mu.Lock()
+	queued := job.state == StateQueued
+	job.mu.Unlock()
+	if queued && job.transition(StateCancelled, cause.Error()) {
+		m.count("serve.jobs.cancelled")
+	}
+	return job, nil
+}
+
+// Jobs lists every known job, newest first bounded by max (0 = all).
+func (m *Manager) Jobs(max int) []JobView {
+	m.mu.Lock()
+	views := make([]JobView, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		views = append(views, j.View())
+	}
+	m.mu.Unlock()
+	// Newest first by submission time.
+	for i := 0; i < len(views); i++ {
+		for j := i + 1; j < len(views); j++ {
+			if views[j].Submitted.After(views[i].Submitted) {
+				views[i], views[j] = views[j], views[i]
+			}
+		}
+	}
+	if max > 0 && len(views) > max {
+		views = views[:max]
+	}
+	return views
+}
+
+// Drain stops admission and waits for in-flight jobs. Queued jobs still
+// run — they were accepted, and accepted work completes. If ctx expires
+// first, running simulations are cooperatively cancelled (they unwind
+// at the next cancellation point, auditor-consistent) and Drain returns
+// an error once they have.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel(fmt.Errorf("serve: drain deadline: %w", context.Cause(ctx)))
+		<-done
+		return fmt.Errorf("serve: drain deadline exceeded, in-flight jobs cancelled")
+	}
+}
+
+// session is one pool worker: it pops jobs until the queue closes
+// (drain) or the base context dies, running each with panic isolation
+// so a crashing simulation takes down its job, not the daemon.
+func (m *Manager) session(id int) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			// Hard shutdown: mark whatever is still queued cancelled.
+			for {
+				select {
+				case job, ok := <-m.queue:
+					if !ok {
+						return
+					}
+					if job.transition(StateCancelled, "serve: daemon shutdown") {
+						m.count("serve.jobs.cancelled")
+					}
+				default:
+					return
+				}
+			}
+		case job, ok := <-m.queue:
+			if !ok {
+				return
+			}
+			m.runJob(id, job)
+		}
+	}
+}
+
+// runJob executes one job end to end on this session.
+func (m *Manager) runJob(session int, job *Job) {
+	if job.State().Terminal() {
+		return // cancelled while queued
+	}
+	ctx := job.runCtx
+	timeout := m.cfg.JobTimeout
+	if t := time.Duration(job.Request.Timeout); t > 0 && (timeout == 0 || t < timeout) {
+		timeout = t
+	}
+	if timeout > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, timeout)
+		defer cancelT()
+	}
+
+	// Chaos: pre-run latency and a mid-run cancellation timer.
+	if chaos := m.cfg.Chaos; chaos != nil {
+		if chaos.roll(chaos.LatencyP) {
+			t := time.NewTimer(chaos.Latency)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+		}
+		if chaos.roll(chaos.CancelP) {
+			t := time.AfterFunc(chaos.Latency/2+time.Millisecond, func() {
+				job.cancel(errChaosCancel)
+			})
+			defer t.Stop()
+		}
+	}
+
+	if !job.transition(StateRunning, "") {
+		return
+	}
+	m.running.Add(1)
+	start := time.Now()
+	table, err, panicked := m.attempt(ctx, job)
+	m.running.Add(-1)
+	m.statsMu.Lock()
+	m.stats.Observe("serve.job.seconds", time.Since(start).Seconds())
+	m.statsMu.Unlock()
+
+	switch {
+	case panicked:
+		m.count("serve.jobs.panicked")
+		job.transition(StateFailed, err.Error())
+	case err != nil && (ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		m.count("serve.jobs.cancelled")
+		job.transition(StateCancelled, err.Error())
+	case err != nil:
+		m.count("serve.jobs.failed")
+		job.transition(StateFailed, err.Error())
+	default:
+		m.count("serve.jobs.done")
+		job.setResult(table)
+	}
+	_ = session
+}
+
+// attempt runs the job's simulation with panic isolation: a panic — a
+// simulator bug or injected chaos — is contained into an error on this
+// job and the session keeps serving.
+func (m *Manager) attempt(ctx context.Context, job *Job) (table string, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("serve: session panic: %v", r)
+		}
+	}()
+	if chaos := m.cfg.Chaos; chaos != nil && chaos.roll(chaos.PanicP) {
+		panic("serve: chaos: injected session panic")
+	}
+	table, err = m.cfg.Run(ctx, job.Request)
+	return table, err, false
+}

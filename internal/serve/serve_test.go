@@ -1,0 +1,553 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeRun builds a RunFunc that simulates `dur` of work, polling its
+// context like a real harness run does.
+func fakeRun(dur time.Duration) RunFunc {
+	return func(ctx context.Context, req JobRequest) (string, error) {
+		select {
+		case <-ctx.Done():
+			return "", context.Cause(ctx)
+		case <-time.After(dur):
+			return "table for " + req.Experiment + "\n", nil
+		}
+	}
+}
+
+func waitTerminal(t *testing.T, job *Job) JobView {
+	t.Helper()
+	select {
+	case <-job.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s never reached a terminal state (state %s)", job.ID, job.State())
+	}
+	return job.View()
+}
+
+func TestSubmitRunsJob(t *testing.T) {
+	m := NewManager(Config{Sessions: 1, Run: fakeRun(5 * time.Millisecond)})
+	defer m.Drain(context.Background())
+	job, err := m.Submit("c1", JobRequest{Experiment: "e1", Horizon: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitTerminal(t, job)
+	if v.State != StateDone {
+		t.Fatalf("want done, got %s (%s)", v.State, v.Error)
+	}
+	table, ok := job.Result()
+	if !ok || table != "table for e1\n" {
+		t.Fatalf("bad result %q ok=%v", table, ok)
+	}
+	if v.Started == nil || v.Finished == nil {
+		t.Fatalf("timestamps missing: %+v", v)
+	}
+}
+
+func TestSubmitValidatesExperiment(t *testing.T) {
+	m := NewManager(Config{Run: fakeRun(0)})
+	defer m.Drain(context.Background())
+	if _, err := m.Submit("c1", JobRequest{Experiment: "e99"}); err == nil {
+		t.Fatal("unknown experiment must be rejected")
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	m := NewManager(Config{
+		Sessions: 1, QueueDepth: 2, RatePerSec: -1,
+		Run: func(ctx context.Context, req JobRequest) (string, error) {
+			once.Do(func() { close(started) })
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return "ok", nil
+		},
+	})
+	defer func() { close(block); m.Drain(context.Background()) }()
+
+	// One running (wait for the session to pick it up) + two queued fit;
+	// the fourth must shed.
+	if _, err := m.Submit("c1", JobRequest{Experiment: "e1"}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var last error
+	accepted := 1
+	for i := 0; i < 3; i++ {
+		if _, err := m.Submit("c1", JobRequest{Experiment: "e1"}); err != nil {
+			last = err
+		} else {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		t.Fatalf("want 3 accepted (1 running + 2 queued), got %d", accepted)
+	}
+	var over *OverloadError
+	if !errors.As(last, &over) || over.Reason != "queue full" || over.RetryAfter <= 0 {
+		t.Fatalf("want queue-full OverloadError with Retry-After, got %v", last)
+	}
+}
+
+func TestRateLimitPerClient(t *testing.T) {
+	m := NewManager(Config{
+		Sessions: 1, QueueDepth: 100, RatePerSec: 1, Burst: 2,
+		Run: fakeRun(0),
+	})
+	defer m.Drain(context.Background())
+	for i := 0; i < 2; i++ {
+		if _, err := m.Submit("greedy", JobRequest{Experiment: "e1"}); err != nil {
+			t.Fatalf("burst submission %d rejected: %v", i, err)
+		}
+	}
+	_, err := m.Submit("greedy", JobRequest{Experiment: "e1"})
+	var over *OverloadError
+	if !errors.As(err, &over) || over.Reason != "client rate limit" {
+		t.Fatalf("want rate-limit OverloadError, got %v", err)
+	}
+	// A different client has its own bucket.
+	if _, err := m.Submit("patient", JobRequest{Experiment: "e1"}); err != nil {
+		t.Fatalf("independent client throttled by another's bucket: %v", err)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	block := make(chan struct{})
+	m := NewManager(Config{
+		Sessions: 1, QueueDepth: 4, RatePerSec: -1,
+		Run: func(ctx context.Context, req JobRequest) (string, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return "ok", nil
+		},
+	})
+	defer func() { close(block); m.Drain(context.Background()) }()
+	if _, err := m.Submit("c1", JobRequest{Experiment: "e1"}); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit("c1", JobRequest{Experiment: "e2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	v := waitTerminal(t, queued)
+	if v.State != StateCancelled {
+		t.Fatalf("want cancelled, got %s", v.State)
+	}
+}
+
+func TestCancelRunningJobUnwinds(t *testing.T) {
+	started := make(chan struct{})
+	m := NewManager(Config{
+		Sessions: 1, RatePerSec: -1,
+		Run: func(ctx context.Context, req JobRequest) (string, error) {
+			close(started)
+			<-ctx.Done()
+			return "", context.Cause(ctx)
+		},
+	})
+	defer m.Drain(context.Background())
+	job, err := m.Submit("c1", JobRequest{Experiment: "e1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := m.Cancel(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	v := waitTerminal(t, job)
+	if v.State != StateCancelled {
+		t.Fatalf("want cancelled, got %s (%s)", v.State, v.Error)
+	}
+	if !strings.Contains(v.Error, "cancelled by client") {
+		t.Fatalf("cancellation cause lost: %q", v.Error)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	m := NewManager(Config{
+		Sessions: 1, RatePerSec: -1, JobTimeout: 20 * time.Millisecond,
+		Run: fakeRun(10 * time.Second),
+	})
+	defer m.Drain(context.Background())
+	job, err := m.Submit("c1", JobRequest{Experiment: "e1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitTerminal(t, job)
+	if v.State != StateCancelled {
+		t.Fatalf("deadline must cancel the job, got %s (%s)", v.State, v.Error)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	var calls atomic.Int64
+	m := NewManager(Config{
+		Sessions: 1, RatePerSec: -1,
+		Run: func(ctx context.Context, req JobRequest) (string, error) {
+			if calls.Add(1) == 1 {
+				panic("simulator bug")
+			}
+			return "recovered", nil
+		},
+	})
+	defer m.Drain(context.Background())
+	crash, err := m.Submit("c1", JobRequest{Experiment: "e1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := waitTerminal(t, crash); v.State != StateFailed || !strings.Contains(v.Error, "panic") {
+		t.Fatalf("want failed-with-panic, got %s (%s)", v.State, v.Error)
+	}
+	// The session survived the panic and serves the next job.
+	next, err := m.Submit("c1", JobRequest{Experiment: "e1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := waitTerminal(t, next); v.State != StateDone {
+		t.Fatalf("session did not survive the panic: %s (%s)", v.State, v.Error)
+	}
+}
+
+func TestDrainFinishesAcceptedWork(t *testing.T) {
+	m := NewManager(Config{Sessions: 1, RatePerSec: -1, Run: fakeRun(30 * time.Millisecond)})
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		job, err := m.Submit("c1", JobRequest{Experiment: "e1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range jobs {
+		if v := job.View(); v.State != StateDone {
+			t.Fatalf("accepted job %s not finished by drain: %s", job.ID, v.State)
+		}
+	}
+	if _, err := m.Submit("c1", JobRequest{Experiment: "e1"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit: want ErrDraining, got %v", err)
+	}
+	if m.Ready() {
+		t.Fatal("draining manager must not report ready")
+	}
+}
+
+func TestDrainDeadlineCancelsRunningJobs(t *testing.T) {
+	m := NewManager(Config{Sessions: 1, RatePerSec: -1, Run: fakeRun(10 * time.Second)})
+	job, err := m.Submit("c1", JobRequest{Experiment: "e1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := m.Drain(ctx); err == nil {
+		t.Fatal("overrun drain must report that it cancelled jobs")
+	}
+	if v := job.View(); v.State != StateCancelled {
+		t.Fatalf("drain overrun must cancel the running job, got %s", v.State)
+	}
+}
+
+func TestParseChaos(t *testing.T) {
+	c, err := ParseChaos("latency=20ms:0.5,panic:0.1,cancel:0.2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Latency != 20*time.Millisecond || c.LatencyP != 0.5 || c.PanicP != 0.1 || c.CancelP != 0.2 {
+		t.Fatalf("bad parse: %+v", c)
+	}
+	if got := c.String(); got != "latency=20ms:0.5,panic:0.1,cancel:0.2" {
+		t.Fatalf("round trip: %q", got)
+	}
+	if c, err := ParseChaos("", 1); c != nil || err != nil {
+		t.Fatalf("empty spec must disable chaos, got %v %v", c, err)
+	}
+	for _, bad := range []string{"latency=20ms", "panic:2", "warp:0.1", "latency=x:0.5"} {
+		if _, err := ParseChaos(bad, 1); err == nil {
+			t.Fatalf("spec %q must be rejected", bad)
+		}
+	}
+	var nilChaos *Chaos
+	if nilChaos.roll(1) {
+		t.Fatal("nil chaos must never fire")
+	}
+	if nilChaos.String() != "off" {
+		t.Fatal("nil chaos renders off")
+	}
+}
+
+func TestLimiterRefills(t *testing.T) {
+	l := newLimiter(10, 1)
+	now := time.Unix(0, 0)
+	l.now = func() time.Time { return now }
+	if ok, _ := l.allow("c"); !ok {
+		t.Fatal("first token must be granted")
+	}
+	ok, retry := l.allow("c")
+	if ok || retry <= 0 {
+		t.Fatalf("empty bucket must report a wait, got ok=%v retry=%v", ok, retry)
+	}
+	now = now.Add(200 * time.Millisecond) // 2 tokens at 10/s, capped at burst 1
+	if ok, _ := l.allow("c"); !ok {
+		t.Fatal("refilled token must be granted")
+	}
+}
+
+// --- HTTP surface ---
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := NewManager(cfg)
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	})
+	return srv, m
+}
+
+func doJSON(t *testing.T, method, url, body string) (int, http.Header, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		decoded = nil
+	}
+	return resp.StatusCode, resp.Header, decoded
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Sessions: 1, RatePerSec: -1, Run: fakeRun(5 * time.Millisecond)})
+
+	code, _, body := doJSON(t, "POST", srv.URL+"/v1/jobs", `{"experiment":"e3","horizon":1000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: want 202, got %d (%v)", code, body)
+	}
+	id, _ := body["id"].(string)
+	if id == "" {
+		t.Fatalf("submit response missing id: %v", body)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, _, body = doJSON(t, "GET", srv.URL+"/v1/jobs/"+id, "")
+		if code != http.StatusOK {
+			t.Fatalf("status: want 200, got %d", code)
+		}
+		if body["state"] == string(StateDone) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %v", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := fmt.Fprint(buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: want 200, got %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Sessions: 1, RatePerSec: -1, Run: fakeRun(time.Millisecond)})
+
+	if code, _, _ := doJSON(t, "POST", srv.URL+"/v1/jobs", `{"experiment":"nope"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad experiment: want 400, got %d", code)
+	}
+	if code, _, _ := doJSON(t, "POST", srv.URL+"/v1/jobs", `{bad json`); code != http.StatusBadRequest {
+		t.Fatalf("bad body: want 400, got %d", code)
+	}
+	if code, _, _ := doJSON(t, "GET", srv.URL+"/v1/jobs/job-999", ""); code != http.StatusNotFound {
+		t.Fatalf("unknown job: want 404, got %d", code)
+	}
+	if code, _, _ := doJSON(t, "DELETE", srv.URL+"/v1/jobs/job-999", ""); code != http.StatusNotFound {
+		t.Fatalf("cancel unknown: want 404, got %d", code)
+	}
+}
+
+func TestHTTPQueueFullIs429WithRetryAfter(t *testing.T) {
+	block := make(chan struct{})
+	srv, _ := newTestServer(t, Config{
+		Sessions: 1, QueueDepth: 1, RatePerSec: -1,
+		Run: func(ctx context.Context, req JobRequest) (string, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return "ok", nil
+		},
+	})
+	defer close(block)
+	sawShed := false
+	for i := 0; i < 4; i++ {
+		code, hdr, _ := doJSON(t, "POST", srv.URL+"/v1/jobs", `{"experiment":"e1"}`)
+		if code == http.StatusTooManyRequests {
+			sawShed = true
+			if hdr.Get("Retry-After") == "" {
+				t.Fatal("429 must carry Retry-After")
+			}
+		}
+	}
+	if !sawShed {
+		t.Fatal("full queue never shed with 429")
+	}
+}
+
+func TestHTTPRateLimit429(t *testing.T) {
+	srv, _ := newTestServer(t, Config{Sessions: 1, QueueDepth: 100, RatePerSec: 0.5, Burst: 1, Run: fakeRun(0)})
+	client := func() (int, http.Header) {
+		req, _ := http.NewRequest("POST", srv.URL+"/v1/jobs", strings.NewReader(`{"experiment":"e1"}`))
+		req.Header.Set("X-Hammertime-Client", "hog")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header
+	}
+	if code, _ := client(); code != http.StatusAccepted {
+		t.Fatalf("first: want 202, got %d", code)
+	}
+	code, hdr := client()
+	if code != http.StatusTooManyRequests || hdr.Get("Retry-After") == "" {
+		t.Fatalf("second: want 429 + Retry-After, got %d %q", code, hdr.Get("Retry-After"))
+	}
+}
+
+func TestHTTPHealthReadyMetrics(t *testing.T) {
+	srv, m := newTestServer(t, Config{Sessions: 1, RatePerSec: -1, Run: fakeRun(time.Millisecond)})
+	if code, _, _ := doJSON(t, "GET", srv.URL+"/healthz", ""); code != http.StatusOK {
+		t.Fatalf("healthz: want 200, got %d", code)
+	}
+	if code, _, _ := doJSON(t, "GET", srv.URL+"/readyz", ""); code != http.StatusOK {
+		t.Fatalf("readyz: want 200, got %d", code)
+	}
+	job, err := m.Submit("c1", JobRequest{Experiment: "e1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, job)
+	code, _, body := doJSON(t, "GET", srv.URL+"/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: want 200, got %d", code)
+	}
+	counters, _ := body["counters"].([]any)
+	found := false
+	for _, c := range counters {
+		if entry, ok := c.(map[string]any); ok && entry["name"] == "serve.jobs.submitted" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("metrics missing submit counter: %v", body)
+	}
+
+	// Draining flips readyz to 503 but healthz stays green.
+	go m.Drain(context.Background())
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, hdr, _ := doJSON(t, "GET", srv.URL+"/readyz", "")
+		if code == http.StatusServiceUnavailable {
+			if hdr.Get("Retry-After") == "" {
+				t.Fatal("draining readyz must carry Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503 during drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, _, _ := doJSON(t, "GET", srv.URL+"/healthz", ""); code != http.StatusOK {
+		t.Fatalf("healthz during drain: want 200, got %d", code)
+	}
+	if code, _, _ := doJSON(t, "POST", srv.URL+"/v1/jobs", `{"experiment":"e1"}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain: want 503, got %d", code)
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	var req JobRequest
+	if err := json.Unmarshal([]byte(`{"experiment":"e1","timeout":"30s"}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(req.Timeout) != 30*time.Second {
+		t.Fatalf("want 30s, got %v", time.Duration(req.Timeout))
+	}
+	b, err := json.Marshal(JobRequest{Experiment: "e1", Timeout: Duration(time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"1m0s"`) {
+		t.Fatalf("duration must marshal as a string: %s", b)
+	}
+	if err := json.Unmarshal([]byte(`{"timeout":"never"}`), &req); err == nil {
+		t.Fatal("bad duration must error")
+	}
+}
+
+// TestDefaultRunnerDispatches runs the real harness dispatcher through
+// the pool once (the smallest experiment at a small horizon), pinning
+// the serve->harness->core wiring end to end.
+func TestDefaultRunnerDispatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation")
+	}
+	m := NewManager(Config{Sessions: 1, RatePerSec: -1})
+	defer m.Drain(context.Background())
+	job, err := m.Submit("c1", JobRequest{Experiment: "e7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitTerminal(t, job)
+	if v.State != StateDone {
+		t.Fatalf("e7 via pool: %s (%s)", v.State, v.Error)
+	}
+	table, _ := job.Result()
+	if !strings.Contains(table, "E7") {
+		t.Fatalf("result is not the E7 table: %q", table)
+	}
+}
