@@ -425,6 +425,105 @@ func BenchmarkMCActCounterHotPath(b *testing.B) {
 	}
 }
 
+// --- Event-driven core benchmarks ---
+
+// BenchmarkIdleFastForward measures pure idle time: no agents, no
+// requests, just the controller catching its refresh schedule up across
+// a 2^32-cycle horizon. The burst variant collapses each catch-up into a
+// closed-form sweep (the event-driven core's fast path); per-ref is the
+// reference schedule walked one REF at a time. Checking is forced off so
+// the unobserved fast path is actually reachable, as in CLI runs.
+func BenchmarkIdleFastForward(b *testing.B) {
+	core.SetCheckingOff()
+	defer core.SetChecking(false)
+	for _, v := range []struct {
+		name  string
+		burst bool
+	}{{"burst", true}, {"per-ref", false}} {
+		b.Run(v.name, func(b *testing.B) {
+			m, err := core.NewMachine(core.DefaultSpec())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.Auditor() != nil {
+				b.Fatal("auditor attached despite SetCheckingOff")
+			}
+			m.MC.SetRefreshBurst(v.burst)
+			const horizon = uint64(1) << 32
+			now := uint64(0)
+			before := m.MC.Stats().Counter("mc.ref")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += horizon
+				m.MC.AdvanceTo(now)
+			}
+			b.StopTimer()
+			refs := m.MC.Stats().Counter("mc.ref") - before
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(float64(refs)/secs, "refs/s")
+				b.ReportMetric(float64(horizon)*float64(b.N)/secs, "cycles/s")
+			}
+		})
+	}
+}
+
+// benchStrideAgent is a pure compute agent: it never touches the memory
+// controller, so scheduling it exercises only the run loop itself.
+type benchStrideAgent struct {
+	stride    uint64
+	remaining int
+}
+
+func (a *benchStrideAgent) Done() bool { return a.remaining == 0 }
+
+func (a *benchStrideAgent) Step(now uint64) (uint64, bool, error) {
+	if a.remaining == 0 {
+		return 0, false, nil
+	}
+	a.remaining--
+	return now + a.stride, true, nil
+}
+
+// BenchmarkSchedulerManyAgents measures the run loop's per-step dispatch
+// cost with a wide agent set: 128 pure agents with coprime strides, so
+// the indexed heap is churned on every step. Reported as scheduled agent
+// steps per wall-clock second.
+func BenchmarkSchedulerManyAgents(b *testing.B) {
+	core.SetCheckingOff()
+	defer core.SetChecking(false)
+	m, err := core.NewMachine(core.DefaultSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		nAgents = 128
+		perStep = 2000
+	)
+	var steps uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agents := make([]core.Agent, nAgents)
+		for j := range agents {
+			agents[j] = &benchStrideAgent{stride: uint64(13 + j%41), remaining: perStep}
+		}
+		res, err := m.Run(agents, 1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Steps {
+			steps += s
+		}
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(steps)/secs, "steps/s")
+	}
+}
+
 // BenchmarkE1MatrixParallel contrasts the serial and pooled harness on
 // the same E1 grid as BenchmarkE1ProtectionMatrix. Tables are
 // byte-identical either way; on a multi-core host the parallel variant

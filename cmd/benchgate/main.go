@@ -1,0 +1,168 @@
+// Command benchgate compares `go test -bench` output against a committed
+// baseline and fails on regressions. It is the CI tripwire for the
+// event-driven core's throughput and the hot paths' zero-allocation
+// guarantees: floors (min) gate throughput metrics like refs/s and
+// steps/s, ceilings (max) gate allocs/op.
+//
+// Usage:
+//
+//	benchgate -baseline bench_baseline.json [-tolerance 0.10] bench.txt...
+//
+// The baseline is a JSON list of gates:
+//
+//	[{"benchmark": "BenchmarkIdleFastForward/burst", "metric": "refs/s", "min": 5e9},
+//	 {"benchmark": "BenchmarkActHotPath/plain", "metric": "allocs/op", "max": 0}]
+//
+// A min gate fails when the measured value drops below min*(1-tolerance);
+// a max gate fails when it exceeds max*(1+tolerance) (so max 0 means
+// exactly zero). A gate whose benchmark or metric never appears in the
+// input fails too: a silently-skipped benchmark must not pass the gate.
+// Benchmark names are matched with the -N GOMAXPROCS suffix stripped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Gate is one baseline entry: a benchmark metric with a floor or ceiling.
+type Gate struct {
+	Benchmark string   `json:"benchmark"`
+	Metric    string   `json:"metric"`
+	Min       *float64 `json:"min,omitempty"`
+	Max       *float64 `json:"max,omitempty"`
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "bench_baseline.json", "baseline JSON with gated metrics")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed relative regression before failing")
+	)
+	flag.Parse()
+	if err := run(*baseline, *tolerance, flag.Args(), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baseline string, tolerance float64, inputs []string, out io.Writer) error {
+	if tolerance < 0 || tolerance >= 1 {
+		return fmt.Errorf("tolerance %g out of range [0, 1)", tolerance)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		return err
+	}
+	var gates []Gate
+	if err := json.Unmarshal(data, &gates); err != nil {
+		return fmt.Errorf("parse %s: %w", baseline, err)
+	}
+	if len(gates) == 0 {
+		return fmt.Errorf("%s has no gates", baseline)
+	}
+
+	results := make(map[string]map[string]float64)
+	if len(inputs) == 0 {
+		if err := parseBench(os.Stdin, results); err != nil {
+			return err
+		}
+	}
+	for _, name := range inputs {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		err = parseBench(f, results)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+
+	failures := 0
+	for _, g := range gates {
+		if err := g.validate(); err != nil {
+			return err
+		}
+		val, ok := results[g.Benchmark][g.Metric]
+		if !ok {
+			failures++
+			fmt.Fprintf(out, "FAIL %s %s: not found in benchmark output\n", g.Benchmark, g.Metric)
+			continue
+		}
+		switch {
+		case g.Min != nil && val < *g.Min*(1-tolerance):
+			failures++
+			fmt.Fprintf(out, "FAIL %s %s: %g below floor %g (tolerance %g%%)\n",
+				g.Benchmark, g.Metric, val, *g.Min, tolerance*100)
+		case g.Max != nil && val > *g.Max*(1+tolerance):
+			failures++
+			fmt.Fprintf(out, "FAIL %s %s: %g above ceiling %g (tolerance %g%%)\n",
+				g.Benchmark, g.Metric, val, *g.Max, tolerance*100)
+		default:
+			fmt.Fprintf(out, "ok   %s %s: %g\n", g.Benchmark, g.Metric, val)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d gates failed", failures, len(gates))
+	}
+	fmt.Fprintf(out, "all %d gates passed\n", len(gates))
+	return nil
+}
+
+func (g Gate) validate() error {
+	if g.Benchmark == "" || g.Metric == "" {
+		return fmt.Errorf("gate %+v: benchmark and metric are required", g)
+	}
+	if (g.Min == nil) == (g.Max == nil) {
+		return fmt.Errorf("gate %s %s: exactly one of min or max is required", g.Benchmark, g.Metric)
+	}
+	return nil
+}
+
+// parseBench scans `go test -bench` output and merges every measurement
+// line into results[benchmark][unit]. Lines look like
+//
+//	BenchmarkName/sub-8   1000   1234 ns/op   5.6e+07 refs/s   0 B/op   0 allocs/op
+//
+// with (value, unit) pairs after the iteration count; values may use Go's
+// %g scientific notation. Non-benchmark lines are ignored.
+func parseBench(r io.Reader, results map[string]map[string]float64) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.ParseUint(fields[1], 10, 64); err != nil {
+			continue // e.g. the "Benchmarking..." prose of some tools
+		}
+		name := fields[0]
+		// Strip the trailing -N GOMAXPROCS suffix go test appends.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.ParseUint(name[i+1:], 10, 64); err == nil {
+				name = name[:i]
+			}
+		}
+		m := results[name]
+		if m == nil {
+			m = make(map[string]float64)
+			results[name] = m
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // mangled tail; keep what parsed cleanly
+			}
+			m[fields[i+1]] = val
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: hammertime
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkIdleFastForward/burst-8         	   87903	     11536 ns/op	372295625824678 cycles/s	39775173699 refs/s	       0 B/op	       0 allocs/op
+BenchmarkIdleFastForward/per-ref-8       	     158	   7486842 ns/op	573668772413 cycles/s	  61289398 refs/s	       0 B/op	       0 allocs/op
+BenchmarkSchedulerManyAgents             	      42	  28506544 ns/op	   8.9e+06 steps/s	    9464 B/op	     154 allocs/op
+BenchmarkActHotPath/plain-8              	interrupted
+PASS
+ok  	hammertime	4.335s
+`
+
+func TestParseBench(t *testing.T) {
+	results := make(map[string]map[string]float64)
+	if err := parseBench(strings.NewReader(sampleBench), results); err != nil {
+		t.Fatal(err)
+	}
+	// Sub-benchmark with the -8 procs suffix stripped.
+	if got := results["BenchmarkIdleFastForward/burst"]["refs/s"]; got != 39775173699 {
+		t.Errorf("burst refs/s = %g", got)
+	}
+	if got := results["BenchmarkIdleFastForward/burst"]["allocs/op"]; got != 0 {
+		t.Errorf("burst allocs/op = %g", got)
+	}
+	// Scientific notation and a name with no procs suffix.
+	if got := results["BenchmarkSchedulerManyAgents"]["steps/s"]; got != 8.9e6 {
+		t.Errorf("steps/s = %g", got)
+	}
+	if got := results["BenchmarkSchedulerManyAgents"]["allocs/op"]; got != 154 {
+		t.Errorf("allocs/op = %g", got)
+	}
+	// The mangled line must not contribute anything.
+	if _, ok := results["BenchmarkActHotPath/plain"]; ok {
+		t.Error("mangled benchmark line parsed")
+	}
+}
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunGates(t *testing.T) {
+	bench := writeFile(t, "bench.txt", sampleBench)
+
+	t.Run("pass", func(t *testing.T) {
+		base := writeFile(t, "base.json", `[
+			{"benchmark": "BenchmarkIdleFastForward/burst", "metric": "refs/s", "min": 4e10},
+			{"benchmark": "BenchmarkIdleFastForward/burst", "metric": "allocs/op", "max": 0},
+			{"benchmark": "BenchmarkSchedulerManyAgents", "metric": "steps/s", "min": 9e6}
+		]`)
+		var out strings.Builder
+		// Floors slightly above the measurements: the 10% tolerance is
+		// what lets them pass.
+		if err := run(base, 0.10, []string{bench}, &out); err != nil {
+			t.Fatalf("run: %v\n%s", err, out.String())
+		}
+	})
+
+	t.Run("regression", func(t *testing.T) {
+		base := writeFile(t, "base.json", `[
+			{"benchmark": "BenchmarkIdleFastForward/per-ref", "metric": "refs/s", "min": 1e9}
+		]`)
+		var out strings.Builder
+		if err := run(base, 0.10, []string{bench}, &out); err == nil {
+			t.Fatalf("regressed floor passed:\n%s", out.String())
+		} else if !strings.Contains(out.String(), "below floor") {
+			t.Fatalf("unexpected output: %v\n%s", err, out.String())
+		}
+	})
+
+	t.Run("alloc-ceiling", func(t *testing.T) {
+		base := writeFile(t, "base.json", `[
+			{"benchmark": "BenchmarkSchedulerManyAgents", "metric": "allocs/op", "max": 0}
+		]`)
+		var out strings.Builder
+		if err := run(base, 0.10, []string{bench}, &out); err == nil {
+			t.Fatalf("154 allocs/op passed a max-0 gate:\n%s", out.String())
+		}
+	})
+
+	t.Run("missing-benchmark-fails", func(t *testing.T) {
+		base := writeFile(t, "base.json", `[
+			{"benchmark": "BenchmarkDoesNotExist", "metric": "ns/op", "min": 1}
+		]`)
+		var out strings.Builder
+		if err := run(base, 0.10, []string{bench}, &out); err == nil {
+			t.Fatalf("absent benchmark passed its gate:\n%s", out.String())
+		} else if !strings.Contains(out.String(), "not found") {
+			t.Fatalf("unexpected output: %v\n%s", err, out.String())
+		}
+	})
+
+	t.Run("malformed-gate", func(t *testing.T) {
+		base := writeFile(t, "base.json", `[
+			{"benchmark": "BenchmarkIdleFastForward/burst", "metric": "refs/s"}
+		]`)
+		var out strings.Builder
+		if err := run(base, 0.10, []string{bench}, &out); err == nil ||
+			!strings.Contains(err.Error(), "exactly one of min or max") {
+			t.Fatalf("gate without bound accepted: %v", err)
+		}
+	})
+}

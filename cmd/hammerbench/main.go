@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	hammerbench [-experiment all|e1|..|e10] [-horizon N] [-csv] [-parallel N]
+//	hammerbench [-experiment all|e1|..|e10|idle] [-horizon N] [-csv] [-parallel N]
 //	            [-check] [-fail-soft] [-retries N] [-cell-timeout 30s] [-resume grid.ckpt]
 //	            [-metrics-out bench.json] [-trace-events f -trace-format chrome]
 //	            [-pprof-cpu f] [-pprof-http addr]
@@ -140,6 +140,7 @@ func run(ctx context.Context, experiment string, horizon uint64, csv bool, obsFl
 			return tb, err
 		}},
 		{"e10", func(ctx context.Context) (*report.Table, error) { return harness.E10HalfDouble(ctx, horizon) }},
+		{"idle", func(ctx context.Context) (*report.Table, error) { return harness.IdleFastForward(ctx, horizon) }},
 	}
 
 	ran := false
@@ -184,7 +185,7 @@ func run(ctx context.Context, experiment string, horizon uint64, csv bool, obsFl
 		fmt.Println()
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want all or e1..e10)", experiment)
+		return fmt.Errorf("unknown experiment %q (want all, e1..e10 or idle)", experiment)
 	}
 	return session.WriteMetrics(collector.Report())
 }

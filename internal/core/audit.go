@@ -5,14 +5,46 @@ import (
 	"testing"
 )
 
-var checking atomic.Bool
+// Checking is tri-state: forced on (the -check CLI flag), forced off
+// (benchmarks measuring the unaudited fast paths), or automatic — on
+// under `go test`, off otherwise.
+const (
+	checkAuto int32 = iota
+	checkOn
+	checkOff
+)
 
-// SetChecking enables or disables the online invariant auditor
+var checkMode atomic.Int32
+
+// SetChecking enables (true) the online invariant auditor
 // (internal/check) for machines built afterwards — the -check CLI flag.
-// Machines already built are unaffected.
-func SetChecking(on bool) { checking.Store(on) }
+// SetChecking(false) restores the automatic default: on under `go test`,
+// off otherwise. Machines already built are unaffected.
+func SetChecking(on bool) {
+	if on {
+		checkMode.Store(checkOn)
+	} else {
+		checkMode.Store(checkAuto)
+	}
+}
+
+// SetCheckingOff forces the auditor off for machines built afterwards,
+// even under `go test`. Benchmarks that measure the unaudited fast paths
+// (the refresh fast-forward, the zero-allocation ACT path) use it, since
+// an attached auditor both costs time and disables the bulk refresh
+// path by design. Restore the default with SetChecking(false).
+func SetCheckingOff() { checkMode.Store(checkOff) }
 
 // CheckingEnabled reports whether newly-built machines get an auditor
-// attached: enabled explicitly via SetChecking, and always under
-// `go test` so every test run audits itself.
-func CheckingEnabled() bool { return checking.Load() || testing.Testing() }
+// attached: forced via SetChecking/SetCheckingOff, otherwise on exactly
+// under `go test` so every test run audits itself.
+func CheckingEnabled() bool {
+	switch checkMode.Load() {
+	case checkOn:
+		return true
+	case checkOff:
+		return false
+	default:
+		return testing.Testing()
+	}
+}

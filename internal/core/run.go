@@ -38,6 +38,12 @@ func (r RunResult) Throughput(i int) float64 {
 	return float64(r.Steps[i]) * 1000 / float64(r.Horizon)
 }
 
+// linearSchedulerForTest routes RunCtx through the retired linear-scan
+// scheduler instead of the event heap. It exists solely as the oracle for
+// the differential test (TestHeapSchedulerMatchesLinear): the two
+// schedulers must produce identical step sequences and results.
+var linearSchedulerForTest bool
+
 // Run simulates the agents (plus the machine's daemons) until every agent
 // finishes or the horizon is reached. Scheduling is deterministic:
 // the earliest-ready agent steps next, with index order breaking ties.
@@ -68,9 +74,68 @@ func (m *Machine) RunCtx(ctx context.Context, agents []Agent, horizon uint64) (R
 		defer m.MC.SetCanceler(nil)
 	}
 	all := append(append([]Agent(nil), agents...), m.daemons...)
+	steps := make([]uint64, len(all))
+	if linearSchedulerForTest {
+		return m.runLinear(ctx, gate, all, steps, horizon)
+	}
+	return m.runHeap(ctx, gate, all, steps, horizon)
+}
+
+// runHeap is the event-driven scheduler: agents sit in an indexed
+// min-heap keyed (next, index), so picking the next agent is O(log n)
+// instead of a linear rescan, and the (next, index) order reproduces the
+// linear scan's tie-break (lowest index among the earliest) exactly.
+//
+// Between agent steps the scheduler consults the controller's event
+// horizon: when nothing observes the machine (no recorder, no auditor)
+// and the next agent wakes beyond pending controller events, the idle gap
+// is fast-forwarded in one AdvanceTo — the controller collapses the
+// refresh schedule in closed form. With an observer attached the advance
+// is skipped; time then only moves through the agents' own requests, so
+// every recorded event keeps the exact cycle stamp the step-by-step
+// schedule would give it.
+func (m *Machine) runHeap(ctx context.Context, gate *sim.Canceler, all []Agent, steps []uint64, horizon uint64) (RunResult, error) {
+	h := newAgentHeap(len(all))
+	for i := range all {
+		if all[i].Done() {
+			h.remove(i)
+		}
+	}
+	unobserved := m.rec == nil && m.aud == nil
+	for !h.empty() {
+		if err := gate.Check(); err != nil {
+			return m.cancelRun(horizon, steps, err)
+		}
+		idx := h.min()
+		t := h.minNext()
+		if t >= horizon {
+			break
+		}
+		if unobserved && t > m.MC.Now() && m.MC.NextEvent() < t {
+			m.MC.AdvanceTo(t)
+		}
+		n, ok, err := all[idx].Step(t)
+		if err != nil {
+			return m.failAgent(idx, err)
+		}
+		if !ok {
+			h.remove(idx)
+			continue
+		}
+		steps[idx]++
+		if n <= t {
+			n = t + 1 // guarantee forward progress
+		}
+		h.update(idx, n)
+	}
+	return m.finishRun(ctx, gate, horizon, steps)
+}
+
+// runLinear is the retired per-step linear-scan scheduler, kept verbatim
+// as the differential-test oracle (see linearSchedulerForTest).
+func (m *Machine) runLinear(ctx context.Context, gate *sim.Canceler, all []Agent, steps []uint64, horizon uint64) (RunResult, error) {
 	next := make([]uint64, len(all))
 	active := make([]bool, len(all))
-	steps := make([]uint64, len(all))
 	for i := range all {
 		active[i] = !all[i].Done()
 	}
@@ -90,7 +155,7 @@ func (m *Machine) RunCtx(ctx context.Context, agents []Agent, horizon uint64) (R
 		}
 		n, ok, err := all[idx].Step(next[idx])
 		if err != nil {
-			return RunResult{}, fmt.Errorf("core: agent %d: %w", idx, err)
+			return m.failAgent(idx, err)
 		}
 		if !ok {
 			active[idx] = false
@@ -102,6 +167,13 @@ func (m *Machine) RunCtx(ctx context.Context, agents []Agent, horizon uint64) (R
 		}
 		next[idx] = n
 	}
+	return m.finishRun(ctx, gate, horizon, steps)
+}
+
+// finishRun is the common run tail: burn the remaining idle time to the
+// horizon, detect a cancellation that cut that advance short, and verify
+// invariants before collecting the result.
+func (m *Machine) finishRun(ctx context.Context, gate *sim.Canceler, horizon uint64, steps []uint64) (RunResult, error) {
 	m.MC.AdvanceTo(horizon)
 	if gate.Tripped() {
 		// The final idle catch-up was cut short; report the cancellation
@@ -113,6 +185,17 @@ func (m *Machine) RunCtx(ctx context.Context, agents []Agent, horizon uint64) (R
 		return RunResult{}, err
 	}
 	return m.collectResult(horizon, steps), nil
+}
+
+// failAgent wraps an agent step error, flushing observability sinks first
+// so a trace of the failing run ends cleanly at the failure point instead
+// of being torn mid-buffer (mirroring cancelRun's teardown).
+func (m *Machine) failAgent(idx int, stepErr error) (RunResult, error) {
+	err := fmt.Errorf("core: agent %d: %w", idx, stepErr)
+	if ferr := m.rec.Flush(); ferr != nil {
+		err = fmt.Errorf("%w (flush on failure: %v)", err, ferr)
+	}
+	return RunResult{}, err
 }
 
 // cancelRun is the cooperative-cancellation teardown: the machine stops

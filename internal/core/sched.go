@@ -1,0 +1,113 @@
+package core
+
+// agentHeap is an indexed binary min-heap over agent readiness times,
+// ordered by (next, index): among agents ready at the same cycle the
+// lowest index wins, which makes the heap's minimum byte-identical to the
+// linear scan it replaced ("earliest-ready agent steps next, index order
+// breaks ties"). The heap holds agent indices; pos maps each agent index
+// back to its slot so update/remove are O(log n) without a search.
+type agentHeap struct {
+	next []uint64 // per agent: readiness cycle (indexed by agent index)
+	heap []int32  // heap slots -> agent index
+	pos  []int32  // agent index -> heap slot, -1 when not in the heap
+}
+
+// newAgentHeap builds a heap over n agents, all ready at cycle 0. The
+// initial layout heap[i] = i is already valid: every key is (0, index)
+// and parents hold lower indices than their children.
+func newAgentHeap(n int) *agentHeap {
+	h := &agentHeap{
+		next: make([]uint64, n),
+		heap: make([]int32, n),
+		pos:  make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		h.heap[i] = int32(i)
+		h.pos[i] = int32(i)
+	}
+	return h
+}
+
+// less orders agents a and b by (next, index).
+func (h *agentHeap) less(a, b int32) bool {
+	if h.next[a] != h.next[b] {
+		return h.next[a] < h.next[b]
+	}
+	return a < b
+}
+
+// empty reports whether any agent remains scheduled.
+func (h *agentHeap) empty() bool { return len(h.heap) == 0 }
+
+// min returns the index of the earliest-ready agent (lowest index among
+// ties). Callers must check empty() first.
+func (h *agentHeap) min() int { return int(h.heap[0]) }
+
+// minNext returns the readiness cycle of the minimum agent.
+func (h *agentHeap) minNext() uint64 { return h.next[h.heap[0]] }
+
+// update moves agent idx to readiness cycle next and restores heap order.
+func (h *agentHeap) update(idx int, next uint64) {
+	h.next[idx] = next
+	h.fix(h.pos[idx])
+}
+
+// remove deschedules agent idx (it finished).
+func (h *agentHeap) remove(idx int) {
+	slot := h.pos[idx]
+	last := int32(len(h.heap) - 1)
+	moved := h.heap[last]
+	h.heap[slot] = moved
+	h.pos[moved] = slot
+	h.heap = h.heap[:last]
+	h.pos[idx] = -1
+	if slot < last {
+		h.fix(slot)
+	}
+}
+
+// fix restores the heap property for the agent at slot, sifting whichever
+// direction is needed.
+func (h *agentHeap) fix(slot int32) {
+	if !h.up(slot) {
+		h.down(slot)
+	}
+}
+
+func (h *agentHeap) up(slot int32) bool {
+	moved := false
+	for slot > 0 {
+		parent := (slot - 1) / 2
+		if !h.less(h.heap[slot], h.heap[parent]) {
+			break
+		}
+		h.swap(slot, parent)
+		slot = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *agentHeap) down(slot int32) {
+	n := int32(len(h.heap))
+	for {
+		kid := 2*slot + 1
+		if kid >= n {
+			return
+		}
+		if r := kid + 1; r < n && h.less(h.heap[r], h.heap[kid]) {
+			kid = r
+		}
+		if !h.less(h.heap[kid], h.heap[slot]) {
+			return
+		}
+		h.swap(slot, kid)
+		slot = kid
+	}
+}
+
+func (h *agentHeap) swap(a, b int32) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}

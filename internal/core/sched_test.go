@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"hammertime/internal/dram"
+	"hammertime/internal/memctrl"
+	"hammertime/internal/sim"
+)
+
+// stepRec is one scheduling decision: which agent stepped at which cycle.
+type stepRec struct {
+	idx int
+	now uint64
+}
+
+// diffAgent is a scripted agent for the scheduler differential test: it
+// performs a fixed number of steps, optionally issuing a memory request
+// each step, and advances by a seeded-random stride (including stride 0,
+// which exercises the scheduler's forward-progress clamp). Every Step
+// call is appended to the shared log, so two runs can be compared
+// decision by decision.
+type diffAgent struct {
+	idx       int
+	mc        *memctrl.Controller
+	rng       *sim.RNG
+	remaining int
+	line      uint64
+	lineSpace uint64
+	touchMC   bool
+	log       *[]stepRec
+}
+
+func (a *diffAgent) Done() bool { return a.remaining == 0 }
+
+func (a *diffAgent) Step(now uint64) (uint64, bool, error) {
+	*a.log = append(*a.log, stepRec{a.idx, now})
+	if a.remaining == 0 {
+		return 0, false, nil
+	}
+	a.remaining--
+	next := now
+	if a.touchMC {
+		res, err := a.mc.ServeRequest(memctrl.Request{Line: a.line % a.lineSpace, Domain: 0}, now)
+		if err != nil {
+			return 0, false, err
+		}
+		a.line = a.line*2654435761 + 12345
+		next = res.Completion
+	}
+	next += uint64(a.rng.Intn(3000)) // 0 is possible: forward-progress clamp
+	return next, true, nil
+}
+
+// schedVariant is one scheduler configuration under test.
+type schedVariant struct {
+	name    string
+	linear  bool // retired linear-scan oracle vs the event heap
+	burst   bool // controller refresh fast-forward enabled
+	audited bool // invariant auditor attached (forces the per-REF path)
+}
+
+func runSchedVariant(t *testing.T, spec MachineSpec, v schedVariant, horizon uint64) ([]stepRec, RunResult) {
+	t.Helper()
+	if !v.audited {
+		SetCheckingOff()
+		defer SetChecking(false)
+	}
+	linearSchedulerForTest = v.linear
+	defer func() { linearSchedulerForTest = false }()
+
+	m, err := NewMachine(spec)
+	if err != nil {
+		t.Fatalf("%s: NewMachine: %v", v.name, err)
+	}
+	if v.audited && m.Auditor() == nil {
+		t.Fatalf("%s: expected an auditor", v.name)
+	}
+	if !v.audited && m.Auditor() != nil {
+		t.Fatalf("%s: expected no auditor", v.name)
+	}
+	m.MC.SetRefreshBurst(v.burst)
+
+	g := spec.Geometry
+	lineSpace := uint64(g.Banks) * uint64(g.RowsPerBank()) * uint64(g.ColumnsPerRow)
+	var log []stepRec
+	scriptRNG := sim.NewRNG(spec.Seed ^ 0x9e3779b97f4a7c15)
+	var agents []Agent
+	for i := 0; i < 8; i++ {
+		agents = append(agents, &diffAgent{
+			idx:       i,
+			mc:        m.MC,
+			rng:       sim.NewRNG(uint64(i)*0x2545f4914f6cdd1d + spec.Seed),
+			remaining: 50 + scriptRNG.Intn(300),
+			line:      scriptRNG.Uint64(),
+			lineSpace: lineSpace,
+			touchMC:   i%3 != 2, // two of every three agents hit memory
+			log:       &log,
+		})
+	}
+	res, err := m.Run(agents, horizon)
+	if err != nil {
+		t.Fatalf("%s: Run: %v", v.name, err)
+	}
+	return log, res
+}
+
+// TestHeapSchedulerMatchesLinear pins the event-heap scheduler and the
+// controller's refresh fast-forward against the retired linear scan:
+// across machine configurations (plain, in-DRAM TRR, BlockHammer rate
+// limiting) every scheduler variant must make the identical sequence of
+// (agent, cycle) scheduling decisions and produce an identical RunResult
+// — heap vs linear, burst vs per-REF refresh, audited vs unobserved.
+func TestHeapSchedulerMatchesLinear(t *testing.T) {
+	trr := dram.DefaultTRR()
+	specs := []struct {
+		name string
+		spec func() MachineSpec
+	}{
+		{"plain", func() MachineSpec {
+			s := DefaultSpec()
+			s.Seed = 7
+			return s
+		}},
+		{"trr", func() MachineSpec {
+			s := DefaultSpec()
+			s.Seed = 11
+			s.TRR = &trr
+			return s
+		}},
+		{"ratelimit", func() MachineSpec {
+			s := DefaultSpec()
+			s.Seed = 13
+			s.RateLimit = &RateLimitSpec{MaxActsPerWindow: 2048}
+			return s
+		}},
+	}
+	variants := []schedVariant{
+		{name: "linear/per-ref/audited", linear: true, burst: false, audited: true},
+		{name: "linear/burst/audited", linear: true, burst: true, audited: true},
+		{name: "heap/per-ref/audited", linear: false, burst: false, audited: true},
+		{name: "heap/burst/audited", linear: false, burst: true, audited: true},
+		{name: "linear/burst/unobserved", linear: true, burst: true, audited: false},
+		{name: "heap/burst/unobserved", linear: false, burst: true, audited: false},
+	}
+	const horizon = 2_000_000
+
+	for _, sc := range specs {
+		t.Run(sc.name, func(t *testing.T) {
+			refLog, refRes := runSchedVariant(t, sc.spec(), variants[0], horizon)
+			if len(refLog) == 0 {
+				t.Fatal("oracle made no scheduling decisions")
+			}
+			refStats := refRes.Stats.String()
+			for _, v := range variants[1:] {
+				log, res := runSchedVariant(t, sc.spec(), v, horizon)
+				if len(log) != len(refLog) {
+					t.Fatalf("%s: %d scheduling decisions, oracle made %d", v.name, len(log), len(refLog))
+				}
+				for i := range log {
+					if log[i] != refLog[i] {
+						t.Fatalf("%s: decision %d = %+v, oracle %+v", v.name, i, log[i], refLog[i])
+					}
+				}
+				if res.Flips != refRes.Flips || res.CrossFlips != refRes.CrossFlips {
+					t.Fatalf("%s: flips %d/%d, oracle %d/%d", v.name, res.Flips, res.CrossFlips, refRes.Flips, refRes.CrossFlips)
+				}
+				for i := range res.Steps {
+					if res.Steps[i] != refRes.Steps[i] {
+						t.Fatalf("%s: agent %d steps %d, oracle %d", v.name, i, res.Steps[i], refRes.Steps[i])
+					}
+				}
+				if s := res.Stats.String(); s != refStats {
+					t.Fatalf("%s: stats diverge from oracle:\n--- variant\n%s\n--- oracle\n%s", v.name, s, refStats)
+				}
+			}
+		})
+	}
+}
+
+// TestHeapRemoveInitiallyDone pins that agents that are already done at
+// run start never step and are reported with zero steps, matching the
+// linear scheduler's active[] gating.
+func TestHeapRemoveInitiallyDone(t *testing.T) {
+	m, err := NewMachine(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log []stepRec
+	done := &diffAgent{idx: 0, remaining: 0, log: &log}
+	live := &diffAgent{idx: 1, remaining: 3, rng: sim.NewRNG(1), log: &log}
+	res, err := m.Run([]Agent{done, live}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps[0] != 0 || res.Steps[1] != 3 {
+		t.Fatalf("steps = %v, want [0 3]", res.Steps)
+	}
+	for _, r := range log {
+		if r.idx == 0 {
+			t.Fatalf("initially-done agent stepped at cycle %d", r.now)
+		}
+	}
+}

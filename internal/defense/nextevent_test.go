@@ -1,0 +1,125 @@
+package defense
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"hammertime/internal/core"
+	"hammertime/internal/memctrl"
+)
+
+// hammerAgent drives a short hammer burst and then goes idle for the rest
+// of the horizon — the idle-heavy shape the event-driven scheduler
+// fast-forwards through.
+type hammerAgent struct {
+	mc        *memctrl.Controller
+	line      uint64
+	stripe    uint64
+	remaining int
+	i         int
+}
+
+func (a *hammerAgent) Done() bool { return a.remaining == 0 }
+
+func (a *hammerAgent) Step(now uint64) (uint64, bool, error) {
+	if a.remaining == 0 {
+		return 0, false, nil
+	}
+	a.remaining--
+	line := a.line + uint64(a.i%2)*2*a.stripe
+	a.i++
+	res, err := a.mc.ServeRequest(memctrl.Request{Line: line, Domain: 0}, now)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Completion, true, nil
+}
+
+// TestBlockHammerNextEvent pins the throttle layer's contribution to the
+// controller event horizon: a BlockHammer machine exposes the rate
+// limiter's next epoch boundary through NextEvent, alongside the refresh
+// deadline.
+func TestBlockHammerNextEvent(t *testing.T) {
+	d, err := New("blockhammer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.BuildWithDefense(core.DefaultSpec(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trefi := m.Spec.Timing.TREFI
+	half := m.Spec.Timing.RefreshWindow / 2
+	want := trefi
+	if half < want {
+		want = half
+	}
+	if got := m.MC.NextEvent(); got != want {
+		t.Fatalf("NextEvent = %d, want min(TREFI=%d, half-window=%d)", got, trefi, half)
+	}
+
+	// An undefended machine has no admission hook: only the refresh
+	// schedule (and, never at cycle 0, bank-ready horizons) contributes.
+	plain, err := core.NewMachine(core.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.MC.NextEvent(); got != trefi {
+		t.Fatalf("undefended NextEvent = %d, want TREFI %d", got, trefi)
+	}
+	if got := plain.MC.NextEvent(); got == math.MaxUint64 {
+		t.Fatal("live machine reported an empty event horizon")
+	}
+}
+
+// TestDefendedIdleFastForwardEquivalence runs an idle-heavy defended
+// workload — hammer burst, then a long quiet tail with only defense
+// daemons scheduled — through the refresh fast-forward and the per-REF
+// reference path, on unobserved machines where the fast path is actually
+// reachable. Results must match exactly for every defense that installs
+// daemons or admission hooks.
+func TestDefendedIdleFastForwardEquivalence(t *testing.T) {
+	core.SetCheckingOff()
+	defer core.SetChecking(false)
+
+	for _, name := range []string{"none", "blockhammer", "anvil", "trr", "graphene"} {
+		t.Run(name, func(t *testing.T) {
+			run := func(burst bool) core.RunResult {
+				t.Helper()
+				d, err := New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := core.BuildWithDefense(core.DefaultSpec(), d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if m.Auditor() != nil {
+					t.Fatal("auditor attached despite SetCheckingOff")
+				}
+				m.MC.SetRefreshBurst(burst)
+				geom := m.Spec.Geometry
+				stripe := uint64(geom.ColumnsPerRow) * uint64(geom.Banks)
+				agent := &hammerAgent{mc: m.MC, line: 512 * stripe, stripe: stripe, remaining: 4000}
+				res, err := m.Run([]core.Agent{agent}, 40_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			fast := run(true)
+			slow := run(false)
+			if fast.Flips != slow.Flips || fast.CrossFlips != slow.CrossFlips {
+				t.Fatalf("flips %d/%d with fast-forward, %d/%d without",
+					fast.Flips, fast.CrossFlips, slow.Flips, slow.CrossFlips)
+			}
+			if fmt.Sprint(fast.Steps) != fmt.Sprint(slow.Steps) {
+				t.Fatalf("steps %v with fast-forward, %v without", fast.Steps, slow.Steps)
+			}
+			if f, s := fast.Stats.String(), slow.Stats.String(); f != s {
+				t.Fatalf("stats diverge:\n--- fast-forward\n%s\n--- per-REF\n%s", f, s)
+			}
+		})
+	}
+}

@@ -144,9 +144,15 @@ func (a *anvilDaemon) Step(now uint64) (uint64, bool, error) {
 	m := a.machine
 	geom := m.Mapper.Geometry()
 	radius := m.Spec.Profile.BlastRadius
-	hot := make(map[[2]int]int)
+	// Most sampling periods are quiet (no PEBS samples at all on an idle
+	// or cache-friendly machine); allocate the aggregation map and key
+	// slice only once a sample actually shows up.
+	var hot map[[2]int]int
 	for _, c := range d.cores {
 		for _, line := range c.Samples() {
+			if hot == nil {
+				hot = make(map[[2]int]int)
+			}
 			dd := m.Mapper.Map(line)
 			hot[[2]int{dd.Bank, dd.Row}]++
 		}
@@ -154,7 +160,10 @@ func (a *anvilDaemon) Step(now uint64) (uint64, bool, error) {
 	// The refresh loads below advance the bank clocks, so the order the
 	// hot rows are serviced in is simulation-visible: iterate them in a
 	// fixed (bank, row) order, not randomized map order.
-	keys := make([][2]int, 0, len(hot))
+	var keys [][2]int
+	if len(hot) > 0 {
+		keys = make([][2]int, 0, len(hot))
+	}
 	for key := range hot {
 		keys = append(keys, key)
 	}

@@ -66,19 +66,38 @@ type Module struct {
 	timing Timing
 	prof   DisturbanceProfile
 
-	banks []bank
-	trr   *trrEngine
+	// Per-bank dynamic state in struct-of-arrays layout: open holds each
+	// bank's open row (-1 when precharged); disturb and acts are flat
+	// bank-major arrays indexed [bank*rows + row]. disturb accumulates
+	// distance-weighted aggressor ACTs per victim row since the victim's
+	// last refresh (0 = fully charged); acts counts ACTs per row since the
+	// row's last refresh (stats, TRR). The ACT hot path touches a small
+	// neighborhood of rows around the aggressor, which in this layout is
+	// one contiguous run of float64s/uint64s — pure indexing, zero
+	// allocations, no per-bank pointer chase.
+	open    []int
+	disturb []float64
+	acts    []uint64
+	rows    int // cached Geometry.RowsPerBank()
+
+	trr *trrEngine
 
 	rng   *sim.RNG
 	stats *sim.Stats
 	rec   *obs.Recorder
 
 	// actVec is the live "dram.act.bank" per-bank counter slice (held to
-	// skip the stats map lookup on the ACT hot path); actsPerRow is the
-	// ACTs-per-row-per-refresh-window histogram, fed when a row's counter
-	// is reset by refresh. lastCycle remembers the most recent command
-	// cycle for events on commands that carry no cycle (PRE, RefreshRow).
+	// skip the stats map lookup on the ACT hot path); actCtr, preCtr,
+	// refCtr and flipCtr are the matching live scalar counter pointers
+	// (sim.Stats.CounterRef). actsPerRow is the ACTs-per-row-per-refresh-
+	// window histogram, fed when a row's counter is reset by refresh.
+	// lastCycle remembers the most recent command cycle for events on
+	// commands that carry no cycle (PRE, RefreshRow).
 	actVec     []int64
+	actCtr     *int64
+	preCtr     *int64
+	refCtr     *int64
+	flipCtr    *int64
 	actsPerRow *sim.Histogram
 	lastCycle  uint64
 
@@ -104,19 +123,6 @@ type Module struct {
 	checks    map[uint64][8]uint8
 	originals map[uint64][]byte
 	flipped   map[uint64]bool
-}
-
-// bank holds per-bank dynamic state. The per-row arrays are dense —
-// indexed by bank-local row and sized from the geometry at construction —
-// so the ACT hot path (Activate -> disturbRow) is pure indexing with zero
-// allocations and no map-hash overhead in the steady state.
-type bank struct {
-	openRow int // -1 when precharged
-	// disturb accumulates distance-weighted aggressor ACTs per victim row
-	// since the victim's last refresh (0 = fully charged).
-	disturb []float64
-	// acts counts ACTs per row since the row's last refresh (stats, TRR).
-	acts []uint64
 }
 
 // NewModule constructs a module from cfg, applying defaults for zero
@@ -147,7 +153,6 @@ func NewModule(cfg Config) (*Module, error) {
 		geom:       cfg.Geometry,
 		timing:     cfg.Timing,
 		prof:       cfg.Profile,
-		banks:      make([]bank, cfg.Geometry.Banks),
 		rng:        sim.NewRNG(cfg.Seed ^ 0xd2a57d4d11b2c9f3),
 		stats:      &sim.Stats{},
 		maxRecords: cfg.MaxFlipRecords,
@@ -163,11 +168,18 @@ func NewModule(cfg Config) (*Module, error) {
 		m.originals = make(map[uint64][]byte)
 	}
 	m.actVec = m.stats.EnsureVec("dram.act.bank", cfg.Geometry.Banks)
+	m.actCtr = m.stats.CounterRef("dram.act")
+	m.preCtr = m.stats.CounterRef("dram.pre")
+	m.refCtr = m.stats.CounterRef("dram.ref")
+	m.flipCtr = m.stats.CounterRef("dram.flips")
 	m.actsPerRow = m.stats.NewHistogram("dram.acts_per_row", sim.ExpBuckets(1, 2, 17))
-	rows := cfg.Geometry.RowsPerBank()
-	for i := range m.banks {
-		m.banks[i] = bank{openRow: -1, disturb: make([]float64, rows), acts: make([]uint64, rows)}
+	m.rows = cfg.Geometry.RowsPerBank()
+	m.open = make([]int, cfg.Geometry.Banks)
+	for i := range m.open {
+		m.open[i] = -1
 	}
+	m.disturb = make([]float64, cfg.Geometry.Banks*m.rows)
+	m.acts = make([]uint64, cfg.Geometry.Banks*m.rows)
 	m.refDenom = cfg.Timing.RefreshCommandsPerWindow()
 	if m.refDenom <= 0 {
 		m.refDenom = 1
@@ -205,7 +217,7 @@ func (m *Module) SetFlipObserver(fn func(FlipEvent)) { m.crossFlips = fn }
 
 // OpenRow returns the bank's open row, or -1 if the bank is precharged.
 func (m *Module) OpenRow(bankIdx int) int {
-	return m.banks[bankIdx].openRow
+	return m.open[bankIdx]
 }
 
 // Activate issues an ACT command: it connects row to the bank's row buffer,
@@ -221,17 +233,17 @@ func (m *Module) Activate(bankIdx, row int, cycle uint64, actorDomain int) ([]Fl
 	if !m.geom.ValidRow(row) {
 		return nil, fmt.Errorf("dram: activate: row %d out of range [0,%d)", row, m.geom.RowsPerBank())
 	}
-	b := &m.banks[bankIdx]
-	b.openRow = row
-	m.stats.Inc("dram.act")
+	m.open[bankIdx] = row
+	*m.actCtr++
 	m.actVec[bankIdx]++
 	m.lastCycle = cycle
 	// Arg=1 marks a counted, controller-issued ACT (as opposed to a
 	// mitigation-internal cure, which carries Arg=0 and Domain=-1).
 	m.rec.Emit(obs.Event{Kind: obs.KindACT, Cycle: cycle, Bank: bankIdx, Row: row, Domain: actorDomain, Arg: 1})
-	b.acts[row]++
+	idx := bankIdx*m.rows + row
+	m.acts[idx]++
 	// An ACT recharges the activated row as a side effect (§2.1).
-	b.disturb[row] = 0
+	m.disturb[idx] = 0
 
 	var flips []FlipEvent
 	sub := m.geom.SubarrayOf(row)
@@ -257,20 +269,19 @@ func (m *Module) activateInternal(bankIdx, row int, cycle uint64) ([]FlipEvent, 
 	if !m.geom.ValidBank(bankIdx) || !m.geom.ValidRow(row) {
 		return nil, fmt.Errorf("dram: internal activate: bank %d row %d out of range", bankIdx, row)
 	}
-	b := &m.banks[bankIdx]
 	// A cure ACT cannot land on a bank with an open row — the engine
 	// precharges first, and again after the cure, so the row buffer is
 	// left as the controller expects (closed) rather than silently
 	// holding the cure victim.
-	if b.openRow >= 0 {
+	if m.open[bankIdx] >= 0 {
 		m.Precharge(bankIdx, cycle)
 	}
-	b.openRow = row
-	m.stats.Inc("dram.act")
+	m.open[bankIdx] = row
+	*m.actCtr++
 	m.actVec[bankIdx]++
 	m.lastCycle = cycle
 	m.rec.Emit(obs.Event{Kind: obs.KindACT, Cycle: cycle, Bank: bankIdx, Row: row, Domain: -1})
-	b.disturb[row] = 0
+	m.disturb[bankIdx*m.rows+row] = 0
 	var flips []FlipEvent
 	sub := m.geom.SubarrayOf(row)
 	for dist := 1; dist <= m.prof.BlastRadius; dist++ {
@@ -289,10 +300,10 @@ func (m *Module) activateInternal(bankIdx, row int, cycle uint64) ([]FlipEvent, 
 // disturbRow adds disturbance to one victim row and generates flips for
 // any excess beyond the MAC.
 func (m *Module) disturbRow(bankIdx, victim, aggressor int, amount float64, cycle uint64, actorDomain int) []FlipEvent {
-	b := &m.banks[bankIdx]
-	old := b.disturb[victim]
+	idx := bankIdx*m.rows + victim
+	old := m.disturb[idx]
 	now := old + amount
-	b.disturb[victim] = now
+	m.disturb[idx] = now
 
 	mac := float64(m.prof.MAC)
 	if now <= mac {
@@ -343,7 +354,7 @@ func (m *Module) disturbRow(bankIdx, victim, aggressor int, amount float64, cycl
 // line if it was never written (unwritten cells still flip on hardware).
 func (m *Module) applyFlip(ev FlipEvent) {
 	m.flipCount++
-	m.stats.Inc("dram.flips")
+	*m.flipCtr++
 	if len(m.flipRecords) < m.maxRecords {
 		m.flipRecords = append(m.flipRecords, ev)
 	}
@@ -401,8 +412,8 @@ func (m *Module) Precharge(bankIdx int, cycle uint64) error {
 	if !m.geom.ValidBank(bankIdx) {
 		return fmt.Errorf("dram: precharge: bank %d out of range [0,%d)", bankIdx, m.geom.Banks)
 	}
-	m.banks[bankIdx].openRow = -1
-	m.stats.Inc("dram.pre")
+	m.open[bankIdx] = -1
+	*m.preCtr++
 	m.lastCycle = cycle
 	m.rec.Emit(obs.Event{Kind: obs.KindPRE, Cycle: cycle, Bank: bankIdx, Row: -1, Domain: -1})
 	return nil
@@ -413,31 +424,96 @@ func (m *Module) Precharge(bankIdx int, cycle uint64) error {
 // mitigation gets its chance to issue targeted neighbor refreshes.
 // The memory controller is responsible for issuing Refresh every TREFI.
 func (m *Module) Refresh(cycle uint64) {
-	m.stats.Inc("dram.ref")
+	*m.refCtr++
 	m.lastCycle = cycle
 	m.rec.Emit(obs.Event{Kind: obs.KindREF, Cycle: cycle, Bank: -1, Row: -1, Domain: -1})
-	rows := m.geom.RowsPerBank()
-	m.refAccum += rows
+	m.refAccum += m.rows
 	for m.refAccum >= m.refDenom {
 		m.refAccum -= m.refDenom
-		for b := range m.banks {
+		for b := 0; b < m.geom.Banks; b++ {
 			m.refreshRowInternal(b, m.refreshPtr)
 		}
-		m.refreshPtr = (m.refreshPtr + 1) % rows
+		m.refreshPtr = (m.refreshPtr + 1) % m.rows
 	}
 	if m.trr != nil {
 		m.trr.onRefresh(m, cycle)
 	}
 }
 
+// RefreshBurst applies n consecutive REF commands (the last at cycle
+// lastCycle) in one step, in closed form, and reports whether it did.
+// It refuses — returning false with NO state change, so the caller must
+// fall back to issuing single Refresh commands — when the burst would be
+// observable: a recorder is attached (per-REF events must be emitted at
+// their own cycles) or a TRR engine is armed with an over-threshold
+// candidate (cures fire at specific REF commands).
+//
+// When it runs, the final state is byte-identical to n single Refresh
+// calls: the fractional sweep advances refreshPtr/refAccum by exactly the
+// same amounts, and because a row recharge is idempotent (disturb drops
+// to 0; the acts histogram observes only the first recharge of a row with
+// acts > 0) the sweep only needs min(steps, rows) physical recharges —
+// beyond one full rotation, extra passes touch already-clean rows.
+// A quiescent TRR tracker is untouched by onRefresh, so skipping those
+// calls changes nothing either.
+func (m *Module) RefreshBurst(n uint64, lastCycle uint64) bool {
+	if n == 0 {
+		return true
+	}
+	if m.rec != nil || (m.trr != nil && !m.trr.quiescent()) {
+		return false
+	}
+	*m.refCtr += int64(n)
+	m.lastCycle = lastCycle
+	// Advance the fractional sweep in closed form, chunked so the
+	// rows-per-REF accumulation never overflows uint64.
+	rows := uint64(m.rows)
+	denom := uint64(m.refDenom)
+	for n > 0 {
+		chunk := n
+		if maxChunk := (math.MaxUint64 - uint64(m.refAccum)) / rows; chunk > maxChunk {
+			chunk = maxChunk
+		}
+		total := uint64(m.refAccum) + chunk*rows
+		m.applySweepSteps(total / denom)
+		m.refAccum = int(total % denom)
+		n -= chunk
+	}
+	return true
+}
+
+// applySweepSteps advances the refresh sweep by steps whole rows,
+// recharging min(steps, rows) rows starting at refreshPtr — in sweep
+// order, all banks per row, exactly as the per-REF loop would.
+func (m *Module) applySweepSteps(steps uint64) {
+	if steps == 0 {
+		return
+	}
+	eff := steps
+	if eff > uint64(m.rows) {
+		eff = uint64(m.rows)
+	}
+	row := m.refreshPtr
+	for i := uint64(0); i < eff; i++ {
+		for b := 0; b < m.geom.Banks; b++ {
+			m.refreshRowInternal(b, row)
+		}
+		row++
+		if row == m.rows {
+			row = 0
+		}
+	}
+	m.refreshPtr = int((uint64(m.refreshPtr) + steps%uint64(m.rows)) % uint64(m.rows))
+}
+
 // refreshRowInternal recharges one row without command-timing side
 // effects (used by the REF sweep and targeted refreshes).
 func (m *Module) refreshRowInternal(bankIdx, row int) {
-	b := &m.banks[bankIdx]
-	b.disturb[row] = 0
-	if acts := b.acts[row]; acts > 0 {
+	idx := bankIdx*m.rows + row
+	m.disturb[idx] = 0
+	if acts := m.acts[idx]; acts > 0 {
 		m.actsPerRow.Observe(float64(acts))
-		b.acts[row] = 0
+		m.acts[idx] = 0
 	}
 }
 
@@ -499,7 +575,7 @@ func (m *Module) Disturbance(bankIdx, row int) float64 {
 	if !m.geom.ValidBank(bankIdx) || !m.geom.ValidRow(row) {
 		return 0
 	}
-	return m.banks[bankIdx].disturb[row]
+	return m.disturb[bankIdx*m.rows+row]
 }
 
 // SeedDisturbance sets a row's accumulated disturbance directly. It
@@ -512,7 +588,7 @@ func (m *Module) SeedDisturbance(bankIdx, row int, amount float64) {
 	if !m.geom.ValidBank(bankIdx) || !m.geom.ValidRow(row) {
 		return
 	}
-	m.banks[bankIdx].disturb[row] = amount
+	m.disturb[bankIdx*m.rows+row] = amount
 	m.rec.Emit(obs.Event{
 		Kind:   obs.KindSeedDisturb,
 		Cycle:  m.lastCycle,
@@ -528,7 +604,7 @@ func (m *Module) ActCount(bankIdx, row int) uint64 {
 	if !m.geom.ValidBank(bankIdx) || !m.geom.ValidRow(row) {
 		return 0
 	}
-	return m.banks[bankIdx].acts[row]
+	return m.acts[bankIdx*m.rows+row]
 }
 
 // lineKey packs a line address into a map key.

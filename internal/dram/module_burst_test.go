@@ -1,0 +1,134 @@
+package dram
+
+import (
+	"fmt"
+	"testing"
+
+	"hammertime/internal/obs"
+)
+
+// primeModule gives a module a distinctive pre-burst state: scattered
+// ACTs across banks/rows (disturbance, per-row counters, histogram
+// samples) and a partially-advanced refresh sweep.
+func primeModule(t *testing.T, m *Module) {
+	t.Helper()
+	cycle := uint64(1)
+	for i := 0; i < 400; i++ {
+		bank := i % m.geom.Banks
+		row := (i * 37) % m.rows
+		if _, err := m.Activate(bank, row, cycle, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Precharge(bank, cycle); err != nil {
+			t.Fatal(err)
+		}
+		cycle += 7
+	}
+	for i := 0; i < 13; i++ {
+		m.Refresh(cycle)
+		cycle += 9360
+	}
+}
+
+// moduleFingerprint captures every piece of state the refresh sweep can
+// touch.
+func moduleFingerprint(m *Module) string {
+	return fmt.Sprintf("open=%v ptr=%d accum=%d disturb=%v acts=%v stats:\n%s",
+		m.open, m.refreshPtr, m.refAccum, m.disturb, m.acts, m.stats.String())
+}
+
+// TestRefreshBurstMatchesSingleRefreshes pins the closed-form sweep: for
+// a range of burst lengths (shorter than, equal to, and far beyond one
+// full sweep rotation) RefreshBurst(n, last) must leave a module in
+// byte-identical state to n individual Refresh commands.
+func TestRefreshBurstMatchesSingleRefreshes(t *testing.T) {
+	for _, n := range []uint64{1, 3, 8, 100, 8205, 8206, 100_000, 9_000_000} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			slow, err := NewModule(Config{Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := NewModule(Config{Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			primeModule(t, slow)
+			primeModule(t, fast)
+
+			const trefi = 9360
+			base := uint64(10_000_000)
+			last := base + (n-1)*trefi
+			for c := base; ; c += trefi {
+				slow.Refresh(c)
+				if c == last {
+					break
+				}
+			}
+			if !fast.RefreshBurst(n, last) {
+				t.Fatal("RefreshBurst refused on an unobserved TRR-less module")
+			}
+
+			if got, want := moduleFingerprint(fast), moduleFingerprint(slow); got != want {
+				t.Errorf("burst state diverges from %d single refreshes:\n--- burst\n%.2000s\n--- single\n%.2000s", n, got, want)
+			}
+			if fast.lastCycle != slow.lastCycle {
+				t.Errorf("lastCycle = %d, want %d", fast.lastCycle, slow.lastCycle)
+			}
+		})
+	}
+}
+
+// TestRefreshBurstRefusals pins the cases where the burst must fall back
+// to per-REF refreshes: an attached recorder (events must carry per-REF
+// cycles) and a TRR tracker with a pending cure. A quiescent tracker is
+// no obstacle.
+func TestRefreshBurstRefusals(t *testing.T) {
+	trr := DefaultTRR()
+
+	t.Run("armed-trr", func(t *testing.T) {
+		m, err := NewModule(Config{Seed: 1, TRR: &trr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Hammer one row past the cure threshold so the tracker is armed.
+		for i := uint64(0); i < m.trr.cfg.CureThreshold+2; i++ {
+			if _, err := m.Activate(0, 100, i+1, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if m.trr.quiescent() {
+			t.Fatal("tracker should be armed")
+		}
+		before := m.stats.Counter("dram.ref")
+		if m.RefreshBurst(50, 1_000_000) {
+			t.Fatal("burst must refuse while a cure is pending")
+		}
+		if got := m.stats.Counter("dram.ref"); got != before {
+			t.Fatalf("refused burst changed dram.ref: %d -> %d", before, got)
+		}
+		// One real REF cures the candidate; the tracker goes quiescent and
+		// the burst is allowed again.
+		m.Refresh(1_000_000)
+		if !m.trr.quiescent() {
+			t.Fatal("tracker should be quiescent after the cure")
+		}
+		if !m.RefreshBurst(50, 2_000_000) {
+			t.Fatal("burst must run once the tracker is quiescent")
+		}
+	})
+
+	t.Run("recorder", func(t *testing.T) {
+		m, err := NewModule(Config{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetRecorder(obs.NewRecorder(obs.NewRing(16)))
+		if m.RefreshBurst(50, 1_000_000) {
+			t.Fatal("burst must refuse while a recorder is attached")
+		}
+		m.SetRecorder(nil)
+		if !m.RefreshBurst(50, 1_000_000) {
+			t.Fatal("burst must run once the recorder is detached")
+		}
+	})
+}

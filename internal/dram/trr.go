@@ -135,6 +135,22 @@ func (t *trrEngine) onActivate(bankIdx, row int) {
 	t.tables[bankIdx] = table[:w]
 }
 
+// quiescent reports whether a REF would be a no-op for the tracker: no
+// candidate in any bank has reached the cure threshold. Candidate counts
+// only change on ACTs, so a quiescent tracker stays quiescent across any
+// ACT-free span — the property the controller's refresh fast-forward
+// relies on to skip onRefresh calls.
+func (t *trrEngine) quiescent() bool {
+	for _, table := range t.tables {
+		for _, e := range table {
+			if e.count >= t.cfg.CureThreshold {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // onRefresh runs at REF time: cure up to MitigationsPerREF candidates that
 // crossed the threshold, refreshing their neighbors and forgetting them.
 func (t *trrEngine) onRefresh(m *Module, cycle uint64) {

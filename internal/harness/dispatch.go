@@ -54,6 +54,9 @@ var experimentRunners = map[string]func(ctx context.Context, horizon uint64, opt
 	"e10": func(ctx context.Context, horizon uint64, _ AttackOpts) (*report.Table, error) {
 		return E10HalfDouble(ctx, horizon)
 	},
+	"idle": func(ctx context.Context, horizon uint64, _ AttackOpts) (*report.Table, error) {
+		return IdleFastForward(ctx, horizon)
+	},
 }
 
 // ExperimentIDs returns the dispatchable experiment ids, sorted.

@@ -15,6 +15,15 @@ type AdmissionController interface {
 	// ObserveACT informs the policy that (bank, row) was activated at
 	// start (after any delay it imposed).
 	ObserveACT(bank, row int, start uint64)
+	// NextRelease returns the next cycle > now at which the policy's
+	// answer to Admit could change without any intervening request — its
+	// contribution to the controller's event horizon (NextEvent). It may
+	// be early (the scheduler just wakes and finds nothing) but never
+	// late, and returns math.MaxUint64 when no spontaneous change is
+	// pending. Per-row release times are request-gated (a delayed request
+	// is simply delayed), so only autonomous state changes — epoch
+	// rotations, window resets — count here.
+	NextRelease(now uint64) uint64
 }
 
 // RateLimiter is a BlockHammer-style admission controller: it tracks ACTs
@@ -144,6 +153,28 @@ func (l *RateLimiter) rotate(now uint64) {
 		}
 		l.epochEnd += half
 	}
+}
+
+// NextRelease implements AdmissionController: the limiter's only
+// autonomous transition is the epoch halving in rotate, so the next
+// release is the next epoch boundary after now. O(1).
+func (l *RateLimiter) NextRelease(now uint64) uint64 {
+	half := l.Window / 2
+	if half == 0 {
+		half = 1
+	}
+	end := l.epochEnd
+	if end == 0 {
+		end = half
+	}
+	for end <= now {
+		next := end + ((now-end)/half+1)*half
+		if next <= end { // saturate on overflow
+			return ^uint64(0)
+		}
+		end = next
+	}
+	return end
 }
 
 // Delayed returns how many requests were delayed and the total delay.

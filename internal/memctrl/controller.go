@@ -70,6 +70,15 @@ type Controller struct {
 
 	nextRef    uint64
 	nextWindow uint64
+	// refSaturated / winSaturated latch when the corresponding deadline
+	// can no longer advance without wrapping uint64 (or when the timing is
+	// degenerate, TREFI == 0): the schedule has run off the end of
+	// representable time and stops, instead of looping forever on a
+	// wrapped deadline.
+	refSaturated bool
+	winSaturated bool
+	// noBurst disables the refresh fast-forward (SetRefreshBurst).
+	noBurst bool
 
 	paraProb   float64
 	paraRadius int
@@ -88,9 +97,11 @@ type Controller struct {
 	rec   *obs.Recorder
 	gate  *sim.Canceler
 
-	// Hot-path histogram handles (skip the stats map lookup per request).
+	// Hot-path histogram and counter handles (skip the stats map lookup
+	// per request / per refresh epoch).
 	interACT *sim.Histogram
 	service  *sim.Histogram
+	refCtr   *int64
 }
 
 // NewController validates cfg and builds a controller.
@@ -137,6 +148,7 @@ func NewController(cfg Config) (*Controller, error) {
 	}
 	c.interACT = c.stats.NewHistogram("mc.inter_act_cycles", sim.ExpBuckets(8, 2, 16))
 	c.service = c.stats.NewHistogram("mc.service_cycles", sim.ExpBuckets(8, 2, 16))
+	c.refCtr = c.stats.CounterRef("mc.ref")
 	return c, nil
 }
 
@@ -184,13 +196,78 @@ func (c *Controller) SetRefreshPermission(fn func(domain int, line uint64) bool)
 // Enforcer returns the domain enforcer, or nil.
 func (c *Controller) Enforcer() *DomainEnforcer { return c.enforcer }
 
+// advanceNextRef moves the refresh deadline one TREFI forward, latching
+// refSaturated instead of wrapping: with TREFI == 0 the deadline cannot
+// move at all, and near math.MaxUint64 the addition would wrap to a small
+// value and re-arm an already-issued deadline — either way the schedule
+// would loop forever.
+func (c *Controller) advanceNextRef() {
+	if n := c.nextRef + c.timing.TREFI; n > c.nextRef {
+		c.nextRef = n
+	} else {
+		c.refSaturated = true
+	}
+}
+
+// advanceNextWindow is advanceNextRef for the refresh-window boundary.
+func (c *Controller) advanceNextWindow() {
+	if n := c.nextWindow + c.timing.RefreshWindow; n > c.nextWindow {
+		c.nextWindow = n
+	} else {
+		c.winSaturated = true
+	}
+}
+
+// minBurstRefs is the span (in REF commands) below which catchUpRefresh
+// doesn't bother with the bulk path. Any value is behavior-neutral — the
+// bulk and per-REF paths produce identical state — this only keeps the
+// bulk setup cost off the common one-REF-behind case during busy traffic.
+const minBurstRefs = 4
+
 // catchUpRefresh issues any REF commands scheduled at or before cycle, and
 // resets window-scoped trackers at refresh-window boundaries.
+//
+// When nothing observes individual REF commands — no recorder attached,
+// and the module's TRR tracker (if any) quiescent — the whole span is
+// applied in closed form via dram.RefreshBurst: one counter addition, one
+// sweep advance, and one bank-busy merge to the last REF's tRFC window,
+// instead of span/tREFI loop iterations. The final controller and module
+// state is byte-identical to the per-REF loop (see RefreshBurst); with a
+// recorder or an armed tracker the per-REF path runs so every event is
+// emitted at its own cycle and cures fire at their exact REF commands.
 func (c *Controller) catchUpRefresh(cycle uint64) {
-	for c.nextRef <= cycle {
+	for !c.refSaturated && c.nextRef <= cycle {
+		if t := c.timing.TREFI; t > 0 && !c.noBurst && c.rec == nil {
+			if n := (cycle-c.nextRef)/t + 1; n >= minBurstRefs {
+				// last <= cycle: (n-1)*t <= cycle-nextRef by construction,
+				// so this cannot overflow.
+				last := c.nextRef + (n-1)*t
+				if c.dram.RefreshBurst(n, last) {
+					*c.refCtr += int64(n)
+					busyUntil := last + c.timing.TRFC
+					if busyUntil < last {
+						busyUntil = ^uint64(0) // saturate
+					}
+					for b := range c.bankReady {
+						if c.bankReady[b] < busyUntil {
+							c.bankReady[b] = busyUntil
+						}
+					}
+					if c.busReady < busyUntil {
+						c.busReady = busyUntil
+					}
+					c.nextRef = last
+					c.advanceNextRef()
+					continue
+				}
+			}
+		}
 		c.dram.Refresh(c.nextRef)
-		c.stats.Inc("mc.ref")
+		*c.refCtr++
 		busyUntil := c.nextRef + c.timing.TRFC
+		if busyUntil < c.nextRef {
+			busyUntil = ^uint64(0) // saturate
+		}
 		for b := range c.bankReady {
 			if c.bankReady[b] < busyUntil {
 				c.bankReady[b] = busyUntil
@@ -199,13 +276,24 @@ func (c *Controller) catchUpRefresh(cycle uint64) {
 		if c.busReady < busyUntil {
 			c.busReady = busyUntil
 		}
-		c.nextRef += c.timing.TREFI
+		c.advanceNextRef()
 	}
-	for c.nextWindow <= cycle {
+	if !c.winSaturated && c.nextWindow <= cycle {
 		if c.graphene != nil {
+			// A window reset is a pure, idempotent table clear and no ACT
+			// can land between two boundaries processed in one catch-up,
+			// so k missed boundaries collapse to a single reset.
 			c.graphene.windowReset()
 		}
-		c.nextWindow += c.timing.RefreshWindow
+		if w := c.timing.RefreshWindow; w == 0 {
+			c.winSaturated = true
+		} else {
+			// Jump to the last boundary at or before cycle, then advance
+			// once (saturating) — closed form instead of one iteration
+			// per missed window.
+			c.nextWindow += ((cycle - c.nextWindow) / w) * w
+			c.advanceNextWindow()
+		}
 	}
 }
 
@@ -525,22 +613,66 @@ func (c *Controller) SetCanceler(g *sim.Canceler) { c.gate = g }
 const advanceChunkRefs = 1024
 
 // AdvanceTo runs the refresh schedule forward to cycle without serving any
-// request (idle time). The advance is chunked so a cancelled run stops
-// within advanceChunkRefs refresh epochs; every refresh issued before the
-// stop is fully applied, leaving auditor-consistent state.
+// request (idle time). With a cancellation gate installed the advance is
+// chunked so a cancelled run stops within advanceChunkRefs refresh epochs;
+// every refresh issued before the stop is fully applied, leaving
+// auditor-consistent state. Without a gate the whole span is handed to
+// catchUpRefresh in one call, where the bulk fast path collapses it to a
+// handful of operations.
 func (c *Controller) AdvanceTo(cycle uint64) {
-	for c.nextRef <= cycle {
-		if c.gate.Tripped() {
-			return
+	if c.gate != nil {
+		for !c.refSaturated && c.nextRef <= cycle {
+			if c.gate.Tripped() {
+				return
+			}
+			limit := c.nextRef + (advanceChunkRefs-1)*c.timing.TREFI
+			if limit > cycle || limit < c.nextRef { // clamp (and guard overflow)
+				limit = cycle
+			}
+			c.catchUpRefresh(limit)
 		}
-		limit := c.nextRef + (advanceChunkRefs-1)*c.timing.TREFI
-		if limit > cycle || limit < c.nextRef { // clamp (and guard overflow)
-			limit = cycle
-		}
-		c.catchUpRefresh(limit)
 	}
 	c.catchUpRefresh(cycle)
 	if cycle > c.now {
 		c.now = cycle
 	}
+}
+
+// SetRefreshBurst enables (the default) or disables catchUpRefresh's bulk
+// fast path. The two paths produce byte-identical state; the knob exists
+// so differential tests and baseline benchmarks can force the per-REF
+// reference path.
+func (c *Controller) SetRefreshBurst(on bool) { c.noBurst = !on }
+
+// NextEvent returns the next cycle at which the controller (or one of its
+// hooks) will change state on its own, with no request arriving: the next
+// refresh deadline, the next refresh-window reset (when a window-scoped
+// tracker is attached), the admission policy's next autonomous release,
+// and the nearest pending bank-ready / bus-ready transition. It returns
+// math.MaxUint64 when nothing is pending. The value may be conservative
+// (an event time at which nothing observable happens) but is never later
+// than the next real event — the contract the event-driven scheduler in
+// internal/core relies on to fast-forward idle spans.
+func (c *Controller) NextEvent() uint64 {
+	next := ^uint64(0)
+	if !c.refSaturated && c.nextRef < next {
+		next = c.nextRef
+	}
+	if c.graphene != nil && !c.winSaturated && c.nextWindow < next {
+		next = c.nextWindow
+	}
+	if c.admission != nil {
+		if r := c.admission.NextRelease(c.now); r < next {
+			next = r
+		}
+	}
+	for _, br := range c.bankReady {
+		if br > c.now && br < next {
+			next = br
+		}
+	}
+	if c.busReady > c.now && c.busReady < next {
+		next = c.busReady
+	}
+	return next
 }

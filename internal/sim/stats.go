@@ -14,25 +14,45 @@ import (
 // The zero value is ready to use. Stats is not safe for concurrent use;
 // the simulator is single-threaded by design (determinism).
 type Stats struct {
-	counters map[string]int64
+	counters map[string]*int64
 	gauges   map[string]float64
 	vectors  map[string][]int64
 	hists    map[string]*Histogram
 }
 
+// CounterRef returns a live pointer to the named counter, creating it
+// (at zero) if needed. Hot paths that increment the same counter per
+// event (the DRAM command stream, the controller's refresh schedule)
+// hold the pointer and increment through it, skipping the map lookup per
+// event — the same pattern EnsureVec and NewHistogram establish for
+// vectors and histograms. The pointer stays live until Reset.
+func (s *Stats) CounterRef(name string) *int64 {
+	if s.counters == nil {
+		s.counters = make(map[string]*int64)
+	}
+	p := s.counters[name]
+	if p == nil {
+		p = new(int64)
+		s.counters[name] = p
+	}
+	return p
+}
+
 // Add increments the named counter by delta, creating it if needed.
 func (s *Stats) Add(name string, delta int64) {
-	if s.counters == nil {
-		s.counters = make(map[string]int64)
-	}
-	s.counters[name] += delta
+	*s.CounterRef(name) += delta
 }
 
 // Inc increments the named counter by one.
 func (s *Stats) Inc(name string) { s.Add(name, 1) }
 
 // Counter returns the value of the named counter (zero if never written).
-func (s *Stats) Counter(name string) int64 { return s.counters[name] }
+func (s *Stats) Counter(name string) int64 {
+	if p := s.counters[name]; p != nil {
+		return *p
+	}
+	return 0
+}
 
 // SetGauge records a float gauge value, overwriting any previous value.
 func (s *Stats) SetGauge(name string, v float64) {
@@ -207,7 +227,7 @@ func (s *Stats) Reset() {
 //     Callers needing combinable values must use counters or histograms.
 func (s *Stats) Merge(other *Stats) {
 	for n, v := range other.counters {
-		s.Add(n, v)
+		s.Add(n, *v)
 	}
 	for n, v := range other.gauges {
 		s.SetGauge(n, v)
@@ -296,7 +316,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	var snap StatsSnapshot
 	snap.Counters = make([]CounterValue, 0, len(s.counters))
 	for _, n := range s.CounterNames() {
-		snap.Counters = append(snap.Counters, CounterValue{Name: n, Value: s.counters[n]})
+		snap.Counters = append(snap.Counters, CounterValue{Name: n, Value: *s.counters[n]})
 	}
 	for _, n := range s.GaugeNames() {
 		snap.Gauges = append(snap.Gauges, GaugeValue{Name: n, Value: s.gauges[n]})
@@ -326,7 +346,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 func (s *Stats) String() string {
 	var b strings.Builder
 	for _, n := range s.CounterNames() {
-		fmt.Fprintf(&b, "%s=%d\n", n, s.counters[n])
+		fmt.Fprintf(&b, "%s=%d\n", n, *s.counters[n])
 	}
 	for _, n := range s.GaugeNames() {
 		fmt.Fprintf(&b, "%s=%g\n", n, s.gauges[n])
