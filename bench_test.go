@@ -17,6 +17,7 @@ import (
 	"hammertime/internal/dram"
 	"hammertime/internal/harness"
 	"hammertime/internal/memctrl"
+	"hammertime/internal/telemetry"
 )
 
 // --- Experiment benchmarks (E1-E8) ---
@@ -522,6 +523,42 @@ func BenchmarkSchedulerManyAgents(b *testing.B) {
 	if secs > 0 {
 		b.ReportMetric(float64(steps)/secs, "steps/s")
 	}
+}
+
+// BenchmarkTelemetryGrid measures the span/progress telemetry's
+// overhead on a real experiment grid: the same reduced E1 matrix with
+// no scope in the context (off — the shipping CLI default) and with a
+// full tracer + hub scope threaded through (on — what hammerd gives
+// every job). The benchgate baseline pins on/off ns/op within a fixed
+// ratio, so telemetry cost is gated relative to the machine's own
+// speed rather than as an absolute time.
+func BenchmarkTelemetryGrid(b *testing.B) {
+	defenses := []string{"none", "trr", "anvil"}
+	run := func(b *testing.B, ctx context.Context) {
+		for i := 0; i < b.N; i++ {
+			if _, err := harness.E1Matrix(ctx, defenses, 12,
+				harness.AttackOpts{Horizon: 400_000}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		run(b, context.Background())
+	})
+	b.Run("on", func(b *testing.B) {
+		// A fresh tracer per iteration, as hammerd allocates per job; the
+		// hub has no subscribers, matching a job nobody is streaming.
+		for i := 0; i < b.N; i++ {
+			ctx := telemetry.NewContext(context.Background(), &telemetry.Scope{
+				Tracer: telemetry.NewTracer(),
+				Hub:    telemetry.NewHub(),
+			})
+			if _, err := harness.E1Matrix(ctx, defenses, 12,
+				harness.AttackOpts{Horizon: 400_000}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkE1MatrixParallel contrasts the serial and pooled harness on

@@ -11,11 +11,17 @@
 // The baseline is a JSON list of gates:
 //
 //	[{"benchmark": "BenchmarkIdleFastForward/burst", "metric": "refs/s", "min": 5e9},
-//	 {"benchmark": "BenchmarkActHotPath/plain", "metric": "allocs/op", "max": 0}]
+//	 {"benchmark": "BenchmarkActHotPath/plain", "metric": "allocs/op", "max": 0},
+//	 {"benchmark": "BenchmarkTelemetryGrid/on", "metric": "ns/op",
+//	  "ratio_of": "BenchmarkTelemetryGrid/off", "max_ratio": 1.5}]
 //
 // A min gate fails when the measured value drops below min*(1-tolerance);
 // a max gate fails when it exceeds max*(1+tolerance) (so max 0 means
-// exactly zero). A gate whose benchmark or metric never appears in the
+// exactly zero). A ratio gate (ratio_of + max_ratio) divides the gated
+// metric by the same metric of the ratio_of benchmark from the same run
+// and fails when the quotient exceeds max_ratio*(1+tolerance) — it pins
+// relative overhead (e.g. tracing on vs off) without pinning absolute
+// machine speed. A gate whose benchmark or metric never appears in the
 // input fails too: a silently-skipped benchmark must not pass the gate.
 // Benchmark names are matched with the -N GOMAXPROCS suffix stripped.
 package main
@@ -31,12 +37,17 @@ import (
 	"strings"
 )
 
-// Gate is one baseline entry: a benchmark metric with a floor or ceiling.
+// Gate is one baseline entry: a benchmark metric with a floor, a
+// ceiling, or a ceiling on its ratio to another benchmark's metric.
 type Gate struct {
 	Benchmark string   `json:"benchmark"`
 	Metric    string   `json:"metric"`
 	Min       *float64 `json:"min,omitempty"`
 	Max       *float64 `json:"max,omitempty"`
+	// RatioOf names the denominator benchmark (same metric) for a
+	// MaxRatio gate.
+	RatioOf  string   `json:"ratio_of,omitempty"`
+	MaxRatio *float64 `json:"max_ratio,omitempty"`
 }
 
 func main() {
@@ -96,6 +107,30 @@ func run(baseline string, tolerance float64, inputs []string, out io.Writer) err
 			fmt.Fprintf(out, "FAIL %s %s: not found in benchmark output\n", g.Benchmark, g.Metric)
 			continue
 		}
+		if g.MaxRatio != nil {
+			base, ok := results[g.RatioOf][g.Metric]
+			if !ok {
+				failures++
+				fmt.Fprintf(out, "FAIL %s %s: ratio base %s not found in benchmark output\n",
+					g.Benchmark, g.Metric, g.RatioOf)
+				continue
+			}
+			if base <= 0 {
+				failures++
+				fmt.Fprintf(out, "FAIL %s %s: ratio base %s is %g, cannot divide\n",
+					g.Benchmark, g.Metric, g.RatioOf, base)
+				continue
+			}
+			ratio := val / base
+			if ratio > *g.MaxRatio*(1+tolerance) {
+				failures++
+				fmt.Fprintf(out, "FAIL %s %s: %gx of %s above ratio ceiling %gx (tolerance %g%%)\n",
+					g.Benchmark, g.Metric, ratio, g.RatioOf, *g.MaxRatio, tolerance*100)
+			} else {
+				fmt.Fprintf(out, "ok   %s %s: %gx of %s\n", g.Benchmark, g.Metric, ratio, g.RatioOf)
+			}
+			continue
+		}
 		switch {
 		case g.Min != nil && val < *g.Min*(1-tolerance):
 			failures++
@@ -120,8 +155,17 @@ func (g Gate) validate() error {
 	if g.Benchmark == "" || g.Metric == "" {
 		return fmt.Errorf("gate %+v: benchmark and metric are required", g)
 	}
-	if (g.Min == nil) == (g.Max == nil) {
-		return fmt.Errorf("gate %s %s: exactly one of min or max is required", g.Benchmark, g.Metric)
+	set := 0
+	for _, p := range []*float64{g.Min, g.Max, g.MaxRatio} {
+		if p != nil {
+			set++
+		}
+	}
+	if set != 1 {
+		return fmt.Errorf("gate %s %s: exactly one of min, max or max_ratio is required", g.Benchmark, g.Metric)
+	}
+	if (g.MaxRatio != nil) != (g.RatioOf != "") {
+		return fmt.Errorf("gate %s %s: ratio_of and max_ratio go together", g.Benchmark, g.Metric)
 	}
 	return nil
 }

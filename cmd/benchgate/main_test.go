@@ -110,8 +110,57 @@ func TestRunGates(t *testing.T) {
 		]`)
 		var out strings.Builder
 		if err := run(base, 0.10, []string{bench}, &out); err == nil ||
-			!strings.Contains(err.Error(), "exactly one of min or max") {
+			!strings.Contains(err.Error(), "exactly one of min, max or max_ratio") {
 			t.Fatalf("gate without bound accepted: %v", err)
+		}
+	})
+
+	t.Run("ratio-pass", func(t *testing.T) {
+		// per-ref is ~649x the burst ns/op; a generous ceiling passes.
+		base := writeFile(t, "base.json", `[
+			{"benchmark": "BenchmarkIdleFastForward/per-ref", "metric": "ns/op",
+			 "ratio_of": "BenchmarkIdleFastForward/burst", "max_ratio": 1000}
+		]`)
+		var out strings.Builder
+		if err := run(base, 0.10, []string{bench}, &out); err != nil {
+			t.Fatalf("run: %v\n%s", err, out.String())
+		}
+	})
+
+	t.Run("ratio-regression", func(t *testing.T) {
+		base := writeFile(t, "base.json", `[
+			{"benchmark": "BenchmarkIdleFastForward/per-ref", "metric": "ns/op",
+			 "ratio_of": "BenchmarkIdleFastForward/burst", "max_ratio": 2}
+		]`)
+		var out strings.Builder
+		if err := run(base, 0.10, []string{bench}, &out); err == nil {
+			t.Fatalf("649x ratio passed a 2x ceiling:\n%s", out.String())
+		} else if !strings.Contains(out.String(), "above ratio ceiling") {
+			t.Fatalf("unexpected output: %v\n%s", err, out.String())
+		}
+	})
+
+	t.Run("ratio-missing-base", func(t *testing.T) {
+		base := writeFile(t, "base.json", `[
+			{"benchmark": "BenchmarkIdleFastForward/per-ref", "metric": "ns/op",
+			 "ratio_of": "BenchmarkDoesNotExist", "max_ratio": 2}
+		]`)
+		var out strings.Builder
+		if err := run(base, 0.10, []string{bench}, &out); err == nil {
+			t.Fatalf("ratio gate with absent base passed:\n%s", out.String())
+		} else if !strings.Contains(out.String(), "ratio base") {
+			t.Fatalf("unexpected output: %v\n%s", err, out.String())
+		}
+	})
+
+	t.Run("ratio-without-base-name", func(t *testing.T) {
+		base := writeFile(t, "base.json", `[
+			{"benchmark": "BenchmarkIdleFastForward/per-ref", "metric": "ns/op", "max_ratio": 2}
+		]`)
+		var out strings.Builder
+		if err := run(base, 0.10, []string{bench}, &out); err == nil ||
+			!strings.Contains(err.Error(), "ratio_of and max_ratio go together") {
+			t.Fatalf("max_ratio without ratio_of accepted: %v", err)
 		}
 	})
 }

@@ -108,6 +108,9 @@ func run(ctx context.Context, experiment string, horizon uint64, csv bool, obsFl
 	collector := harness.NewBenchCollector("hammerbench")
 	harness.SetBenchCollector(collector)
 	defer harness.SetBenchCollector(nil)
+	// With -trace-events the grids record spans (grid, cells, machine
+	// phases) into the trace alongside the event stream.
+	ctx = session.Context(ctx)
 
 	recorder := session.Recorder
 

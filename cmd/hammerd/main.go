@@ -18,17 +18,26 @@
 //     and queued jobs finish (bounded by -drain-timeout, after which
 //     they are cooperatively cancelled), then the daemon exits 0;
 //   - -chaos (or HAMMERTIME_CHAOS) arms the fault-injection middleware
-//     — "latency=20ms:0.5,panic:0.1,cancel:0.2" — used by the CI soak.
+//     — "latency=20ms:0.5,panic:0.1,cancel:0.2" — used by the CI soak;
+//   - every job carries a telemetry trace (trace_id in the submit
+//     response): GET /v1/jobs/{id}/events streams live progress over
+//     SSE, GET /v1/jobs/{id}/trace returns the span tree as a Chrome
+//     trace, and GET /metrics serves Prometheus text exposition when
+//     asked for text/plain; -log-format/-log-level shape the
+//     structured request/job logs on stderr.
 //
 // Quickstart:
 //
 //	hammerd -addr localhost:8077 &
 //	curl -s -XPOST localhost:8077/v1/jobs -d '{"experiment":"e1","horizon":400000}'
 //	curl -s localhost:8077/v1/jobs/job-1
+//	curl -sN localhost:8077/v1/jobs/job-1/events   # live SSE progress
 //	curl -s localhost:8077/v1/jobs/job-1/result
+//	curl -s localhost:8077/v1/jobs/job-1/trace > trace.json  # open in Perfetto
 //	curl -s -XDELETE localhost:8077/v1/jobs/job-1
 //	curl -s localhost:8077/healthz
-//	curl -s localhost:8077/metrics
+//	curl -s localhost:8077/metrics                         # JSON
+//	curl -s -H 'Accept: text/plain' localhost:8077/metrics # Prometheus
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -43,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"hammertime/internal/harness"
 	"hammertime/internal/serve"
 )
 
@@ -57,19 +68,49 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-drain bound on SIGTERM; running jobs are cancelled after it")
 		chaosSpec    = flag.String("chaos", os.Getenv("HAMMERTIME_CHAOS"), "fault injection, e.g. latency=20ms:0.5,panic:0.1,cancel:0.2 (default $HAMMERTIME_CHAOS)")
 		chaosSeed    = flag.Uint64("chaos-seed", 1, "chaos RNG seed")
+		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
-	if err := run(*addr, *sessions, *queue, *rate, *burst, *jobTimeout, *drainTimeout, *chaosSpec, *chaosSeed); err != nil {
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hammerd:", err)
+		os.Exit(1)
+	}
+	if err := run(logger, *addr, *sessions, *queue, *rate, *burst, *jobTimeout, *drainTimeout, *chaosSpec, *chaosSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "hammerd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, sessions, queue int, rate float64, burst int, jobTimeout, drainTimeout time.Duration, chaosSpec string, chaosSeed uint64) error {
+// buildLogger constructs the daemon's structured logger on stderr. The
+// handler choice only shapes the log records; the few fixed lifecycle
+// lines ("listening", "drained, exiting") stay plain so operational
+// scripts keep grepping them.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("log-level: %w", err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("log-format: unknown format %q (want text or json)", format)
+	}
+}
+
+func run(logger *slog.Logger, addr string, sessions, queue int, rate float64, burst int, jobTimeout, drainTimeout time.Duration, chaosSpec string, chaosSeed uint64) error {
 	chaos, err := serve.ParseChaos(chaosSpec, chaosSeed)
 	if err != nil {
 		return err
 	}
+	// The harness's warnings (slow cells, failed grid cells) join the
+	// daemon's structured log stream.
+	harness.SetLogger(logger)
 	mgr := serve.NewManager(serve.Config{
 		Sessions:   sessions,
 		QueueDepth: queue,
@@ -77,6 +118,7 @@ func run(addr string, sessions, queue int, rate float64, burst int, jobTimeout, 
 		Burst:      burst,
 		JobTimeout: jobTimeout,
 		Chaos:      chaos,
+		Logger:     logger,
 	})
 
 	ln, err := net.Listen("tcp", addr)

@@ -19,7 +19,7 @@ import (
 // TestRunRejectsBadChaosSpec pins the flag wiring: a malformed -chaos
 // spec must fail startup, not silently disarm the middleware.
 func TestRunRejectsBadChaosSpec(t *testing.T) {
-	err := run("localhost:0", 1, 1, -1, 1, 0, time.Second, "latency=nonsense", 1)
+	err := run(nil, "localhost:0", 1, 1, -1, 1, 0, time.Second, "latency=nonsense", 1)
 	if err == nil || !strings.Contains(err.Error(), "chaos") {
 		t.Fatalf("bad chaos spec accepted: %v", err)
 	}

@@ -164,6 +164,9 @@ func run(ctx context.Context, defenseName, attackName, profileName string, horiz
 			err = cerr
 		}
 	}()
+	// With -trace-events the run's spans (machine.run, machine.drain)
+	// are recorded alongside the event stream and exported at Close.
+	ctx = session.Context(ctx)
 
 	opts := harness.AttackOpts{
 		Horizon:         horizon,

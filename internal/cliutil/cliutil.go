@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof handlers on -pprof-http
 	"os"
@@ -21,6 +22,7 @@ import (
 	"hammertime/internal/core"
 	"hammertime/internal/harness"
 	"hammertime/internal/obs"
+	"hammertime/internal/telemetry"
 )
 
 // ObsFlags collects the observability command-line options.
@@ -50,6 +52,7 @@ type RobustFlags struct {
 	CellTimeout time.Duration
 	Resume      string
 	Check       bool
+	SlowCell    time.Duration
 }
 
 // Register installs the flags on the default flag set.
@@ -60,6 +63,7 @@ func (f *RobustFlags) Register() {
 	flag.DurationVar(&f.CellTimeout, "cell-timeout", 0, "per-cell wall-clock deadline, e.g. 30s (0 = none)")
 	flag.StringVar(&f.Resume, "resume", "", "checkpoint file: completed cells are appended there and restored on rerun")
 	flag.BoolVar(&f.Check, "check", false, "enable the online invariant auditor: every machine verifies row-buffer/refresh/charge invariants as it runs (observer-only; a violation fails the cell)")
+	flag.DurationVar(&f.SlowCell, "slow-cell", time.Minute, "warn on stderr when a grid cell runs longer than this without finishing (0 = off)")
 }
 
 // Apply installs the flags' policy, cell-event observer, and checkpoint
@@ -85,12 +89,19 @@ func (f *RobustFlags) Apply(rec *obs.Recorder) (cleanup func() error, err error)
 	})
 	harness.SetGridObserver(rec)
 	core.SetChecking(f.Check)
+	// The harness's warnings (slow-cell watchdog, failed cells under
+	// fail-soft) go to stderr; tables and results own stdout.
+	harness.SetLogger(slog.New(slog.NewTextHandler(os.Stderr,
+		&slog.HandlerOptions{Level: slog.LevelWarn})))
+	harness.SetSlowCellWarn(f.SlowCell)
 	var ck *harness.Checkpoint
 	restore := func() error {
 		harness.SetPolicy(harness.Policy{})
 		harness.SetGridObserver(nil)
 		harness.SetCheckpoint(nil)
 		core.SetChecking(false)
+		harness.SetLogger(nil)
+		harness.SetSlowCellWarn(time.Minute)
 		if ck != nil {
 			closeErr := ck.Close()
 			ck = nil
@@ -132,10 +143,25 @@ type Session struct {
 	// machines under test (e.g. via AttackOpts.Observer).
 	Recorder *obs.Recorder
 
+	// scope carries the CLI run's tracer; spans started by the harness
+	// (grid, cells) and the core (machine.run/drain) land in the trace
+	// file next to the simulator events at Close.
+	scope      *telemetry.Scope
+	chromeSink *obs.ChromeTrace
+	jsonlSink  *obs.JSONL
+
 	traceFile   *os.File
 	profFile    *os.File
 	metricsPath string
 	synced      bool
+}
+
+// Context threads the session's telemetry scope into ctx: with
+// -trace-events set, experiment grids and machine runs started under
+// the returned context record spans into the trace file. Without a
+// scope it returns ctx unchanged.
+func (s *Session) Context(ctx context.Context) context.Context {
+	return telemetry.NewContext(ctx, s.scope)
 }
 
 // Start opens files, builds the event recorder, and begins profiling
@@ -152,9 +178,13 @@ func (f *ObsFlags) Start(syncSinks bool) (*Session, error) {
 		var sink obs.Sink
 		switch f.TraceFormat {
 		case "jsonl":
-			sink = obs.NewJSONL(file)
+			j := obs.NewJSONL(file)
+			s.jsonlSink = j
+			sink = j
 		case "chrome":
-			sink = obs.NewChromeTrace(file)
+			ct := obs.NewChromeTrace(file)
+			s.chromeSink = ct
+			sink = ct
 		default:
 			file.Close()
 			return nil, fmt.Errorf("trace-format: unknown format %q (want jsonl or chrome)", f.TraceFormat)
@@ -164,6 +194,7 @@ func (f *ObsFlags) Start(syncSinks bool) (*Session, error) {
 		}
 		s.traceFile = file
 		s.Recorder = obs.NewRecorder(sink)
+		s.scope = &telemetry.Scope{Tracer: telemetry.NewTracer()}
 	}
 	if f.PprofCPU != "" {
 		file, err := os.Create(f.PprofCPU)
@@ -212,9 +243,23 @@ func (s *Session) WriteMetrics(v interface{}) error {
 	return nil
 }
 
-// Close flushes the event trace and stops CPU profiling.
+// Close exports the run's spans into the trace, flushes it, and stops
+// CPU profiling.
 func (s *Session) Close() error {
 	var first error
+	// Span export happens after the run, single-threaded, so it writes
+	// the underlying sink directly even when the recorder was synced.
+	if s.scope != nil && s.scope.Tracer != nil {
+		if spans := s.scope.Tracer.Snapshot(); len(spans) > 0 {
+			switch {
+			case s.chromeSink != nil:
+				telemetry.ExportChrome(s.chromeSink, spans)
+			case s.jsonlSink != nil:
+				telemetry.ExportJSONL(s.jsonlSink, spans)
+			}
+		}
+		s.scope = nil
+	}
 	if s.Recorder != nil {
 		if err := s.Recorder.Flush(); err != nil {
 			first = err

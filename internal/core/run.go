@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"hammertime/internal/sim"
+	"hammertime/internal/telemetry"
 )
 
 // ErrCancelled marks a run stopped by its context rather than by reaching
@@ -73,12 +74,23 @@ func (m *Machine) RunCtx(ctx context.Context, agents []Agent, horizon uint64) (R
 		m.MC.SetCanceler(gate)
 		defer m.MC.SetCanceler(nil)
 	}
+	// One span per run (per-step spans would swamp the tracer and the
+	// scheduler); without a telemetry scope in ctx this is a nil span and
+	// the run path is untouched.
+	ctx, span := telemetry.StartSpan(ctx, "machine.run")
+	span.SetAttrs(telemetry.Int("agents", int64(len(agents))), telemetry.Uint("horizon", horizon))
 	all := append(append([]Agent(nil), agents...), m.daemons...)
 	steps := make([]uint64, len(all))
+	var res RunResult
+	var err error
 	if linearSchedulerForTest {
-		return m.runLinear(ctx, gate, all, steps, horizon)
+		res, err = m.runLinear(ctx, gate, all, steps, horizon)
+	} else {
+		res, err = m.runHeap(ctx, gate, all, steps, horizon)
 	}
-	return m.runHeap(ctx, gate, all, steps, horizon)
+	span.SetCycles(0, m.MC.Now())
+	span.EndErr(err)
+	return res, err
 }
 
 // runHeap is the event-driven scheduler: agents sit in an indexed
@@ -174,7 +186,10 @@ func (m *Machine) runLinear(ctx context.Context, gate *sim.Canceler, all []Agent
 // horizon, detect a cancellation that cut that advance short, and verify
 // invariants before collecting the result.
 func (m *Machine) finishRun(ctx context.Context, gate *sim.Canceler, horizon uint64, steps []uint64) (RunResult, error) {
+	_, dspan := telemetry.StartSpan(ctx, "machine.drain")
+	dspan.SetCycles(m.MC.Now(), horizon)
 	m.MC.AdvanceTo(horizon)
+	dspan.End()
 	if gate.Tripped() {
 		// The final idle catch-up was cut short; report the cancellation
 		// rather than an apparently-complete run whose refresh schedule

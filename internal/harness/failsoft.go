@@ -18,6 +18,7 @@ import (
 	"hammertime/internal/obs"
 	"hammertime/internal/report"
 	"hammertime/internal/sim"
+	"hammertime/internal/telemetry"
 )
 
 // The robustness layer of the experiment harness. Long sweeps (the
@@ -310,6 +311,15 @@ func runGrid[T any](ctx context.Context, spec GridSpec, n int, fn func(ctx conte
 	fp := parseFailpoint(spec.ID)
 	var restored atomic.Int64
 
+	// Telemetry: the grid gets a span (the parent of every cell span)
+	// and publishes per-cell completions plus progress records to the
+	// run's hub. All of it hangs off the context: no scope, no cost.
+	gname := gridName(spec.ID)
+	ctx, gspan := telemetry.StartSpan(ctx, "grid:"+gname)
+	gspan.SetAttrs(telemetry.String("grid", gname), telemetry.Int("cells", int64(n)))
+	defer func() { gspan.EndErr(run.Err()) }()
+	prog := newGridProgress(telemetry.HubFrom(ctx), gname, n)
+
 	bc := benchCollector()
 	cell := func(i int) *CellError {
 		var key string
@@ -318,20 +328,37 @@ func runGrid[T any](ctx context.Context, spec GridSpec, n int, fn func(ctx conte
 			if raw, ok := ck.lookup(key); ok {
 				if jerr := json.Unmarshal(raw, &run.Results[i]); jerr == nil {
 					restored.Add(1)
+					prog.cellDone(i, 0, 0, true, "")
 					return nil
 				}
 				// Undecodable record (e.g. the cell type changed):
 				// recompute and overwrite below.
 			}
 		}
+		cctx, span := telemetry.StartLane(ctx, "cell")
+		span.SetAttrs(telemetry.String("grid", gname), telemetry.Int("cell", int64(i)))
+		unwatch := slowCellWatchdog(gname, i)
 		start := time.Now()
-		ce := runCellGuarded(ctx, spec.ID, i, pol, fp, fn, &run.Results[i])
+		ce := runCellGuarded(cctx, spec.ID, i, pol, fp, fn, &run.Results[i])
+		wall := time.Since(start)
+		unwatch()
+		attempts, errMsg := 1, ""
+		if ce != nil {
+			attempts, errMsg = ce.Attempts, ce.Reason()
+			span.Fail(ce)
+			if log := logger(); log != nil {
+				log.Warn("grid cell failed",
+					"grid", gname, "cell", i, "attempts", ce.Attempts, "reason", ce.Reason())
+			}
+		}
+		span.End()
 		if bc != nil {
-			bc.recordCell(i, time.Since(start))
+			bc.recordCell(i, wall)
 		}
 		if ce == nil && ck != nil {
 			ck.record(spec.ID, i, key, run.Results[i])
 		}
+		prog.cellDone(i, wall, attempts, false, errMsg)
 		return ce
 	}
 	// noteCancel records the grid's cancellation once; later cells are

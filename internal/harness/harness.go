@@ -15,6 +15,7 @@ import (
 	"hammertime/internal/dma"
 	"hammertime/internal/hostos"
 	"hammertime/internal/obs"
+	"hammertime/internal/telemetry"
 	"hammertime/internal/trace"
 	"hammertime/internal/workload"
 )
@@ -153,6 +154,10 @@ func RunAttackCtx(ctx context.Context, spec core.MachineSpec, d core.Defense, ki
 	}
 	if opts.Observer != nil {
 		m.SetRecorder(opts.Observer)
+	} else if rec := telemetry.ObserverFrom(ctx); rec != nil {
+		// A hammerd job that requested event streaming carries its
+		// recorder in the telemetry scope; explicit Observer opts win.
+		m.SetRecorder(rec)
 	}
 	tenants, err := SetupTenants(m, opts.Tenants, opts.PagesPerTenant)
 	if err != nil {
@@ -231,12 +236,14 @@ func RunAttackCtx(ctx context.Context, spec core.MachineSpec, d core.Defense, ki
 	if err != nil {
 		return AttackOutcome{}, err
 	}
+	events := uint64(res.Stats.Counter("mc.requests") +
+		res.Stats.Counter("dram.act") + res.Stats.Counter("dram.ref"))
 	if c := benchCollector(); c != nil {
 		// Simulated-event throughput for the performance report: memory
 		// requests plus DRAM commands this run processed.
-		c.addEvents(uint64(res.Stats.Counter("mc.requests") +
-			res.Stats.Counter("dram.act") + res.Stats.Counter("dram.ref")))
+		c.addEvents(events)
 	}
+	telemetry.CountEvents(ctx, events)
 	out := AttackOutcome{
 		Attack:       kind.Name,
 		PlanKind:     plan.Kind,

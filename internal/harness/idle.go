@@ -8,6 +8,7 @@ import (
 	"hammertime/internal/defense"
 	"hammertime/internal/memctrl"
 	"hammertime/internal/report"
+	"hammertime/internal/telemetry"
 )
 
 // IdleDefenses is the defense grid of the idle fast-forward experiment:
@@ -85,10 +86,12 @@ func IdleFastForward(ctx context.Context, horizon uint64) (*report.Table, error)
 		if err != nil {
 			return idleCell{}, fmt.Errorf("harness: idle %s: %w", IdleDefenses[i], err)
 		}
+		events := uint64(res.Stats.Counter("mc.requests") +
+			res.Stats.Counter("dram.act") + res.Stats.Counter("dram.ref"))
 		if c := benchCollector(); c != nil {
-			c.addEvents(uint64(res.Stats.Counter("mc.requests") +
-				res.Stats.Counter("dram.act") + res.Stats.Counter("dram.ref")))
+			c.addEvents(events)
 		}
+		telemetry.CountEvents(ctx, events)
 		return idleCell{
 			Steps: res.Steps[0],
 			Acts:  res.Stats.Counter("dram.act"),

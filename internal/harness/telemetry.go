@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"log/slog"
+	"sync/atomic"
+	"time"
+
+	"hammertime/internal/telemetry"
+)
+
+// Structured logging and the slow-cell watchdog. Like the bench
+// collector and the grid observer, the logger is a package-level
+// install (the harness is driven through package-level experiment
+// functions): nil means silent, and the grid only arms per-cell
+// watchdog timers when a logger is present.
+
+var pkgLogger atomic.Pointer[slog.Logger]
+
+// SetLogger installs (or, with nil, removes) the logger that receives
+// harness progress: slow-cell warnings, grid completions, cell
+// failures. hammerd and the CLIs wire their slog here.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		pkgLogger.Store(nil)
+		return
+	}
+	pkgLogger.Store(l)
+}
+
+// logger returns the installed logger, or nil when logging is off.
+func logger() *slog.Logger { return pkgLogger.Load() }
+
+// slowCellWarnNS is the wall-clock threshold after which a still-running
+// cell logs a watchdog warning. Nanoseconds in an atomic so tests can
+// lower it without racing running grids.
+var slowCellWarnNS atomic.Int64
+
+func init() { slowCellWarnNS.Store(int64(time.Minute)) }
+
+// SetSlowCellWarn sets the slow-cell watchdog threshold (0 disables).
+func SetSlowCellWarn(d time.Duration) { slowCellWarnNS.Store(int64(d)) }
+
+// slowCellWatchdog arms a warning timer for cell i of grid. The returned
+// stop function disarms it (and is safe to call after firing). When no
+// logger is installed or the threshold is 0, nothing is armed.
+func slowCellWatchdog(grid string, i int) (stop func()) {
+	log := logger()
+	threshold := time.Duration(slowCellWarnNS.Load())
+	if log == nil || threshold <= 0 {
+		return func() {}
+	}
+	start := time.Now()
+	var t *time.Timer
+	t = time.AfterFunc(threshold, func() {
+		log.Warn("slow cell still running",
+			"grid", grid, "cell", i, "elapsed", time.Since(start).Round(time.Second).String())
+	})
+	return func() { t.Stop() }
+}
+
+// gridName renders a grid id for records and logs ("grid" when anonymous).
+func gridName(id string) string {
+	if id == "" {
+		return "grid"
+	}
+	return id
+}
+
+// gridProgress tracks one running grid's completion counters and
+// publishes progress records to the run's hub after every cell.
+type gridProgress struct {
+	hub    *telemetry.Hub
+	grid   string
+	total  int
+	start    time.Time
+	done     atomic.Int64
+	failed   atomic.Int64
+	restored atomic.Int64
+}
+
+func newGridProgress(hub *telemetry.Hub, grid string, total int) *gridProgress {
+	return &gridProgress{hub: hub, grid: grid, total: total, start: time.Now()}
+}
+
+// cellDone records one finished cell (computed or restored) and
+// publishes its completion plus a fresh progress record. Free (two
+// atomic adds) when the run has no hub.
+func (p *gridProgress) cellDone(i int, wall time.Duration, attempts int, restored bool, errMsg string) {
+	d := p.done.Add(1)
+	if errMsg != "" {
+		p.failed.Add(1)
+	}
+	if restored {
+		p.restored.Add(1)
+	}
+	if p.hub == nil {
+		return
+	}
+	p.hub.Publish("cell", telemetry.CellDone{
+		Grid:     p.grid,
+		Index:    i,
+		WallMS:   float64(wall) / float64(time.Millisecond),
+		Attempts: attempts,
+		Restored: restored,
+		Err:      errMsg,
+	})
+	var eta float64
+	if d > 0 && int(d) < p.total {
+		eta = time.Since(p.start).Seconds() / float64(d) * float64(p.total-int(d))
+	}
+	p.hub.Publish("progress", telemetry.Progress{
+		Grid:         p.grid,
+		Done:         int(d),
+		Total:        p.total,
+		Restored:     int(p.restored.Load()),
+		Failed:       int(p.failed.Load()),
+		EventsPerSec: p.hub.EventsPerSec(),
+		ETASeconds:   eta,
+	})
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseKinds(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want []Kind
+	}{
+		{"", nil},
+		{"all", nil},
+		{"act", []Kind{KindACT}},
+		{"act, bit-flip ,ref", []Kind{KindACT, KindBitFlip, KindREF}},
+	} {
+		got, err := ParseKinds(c.in)
+		if err != nil {
+			t.Fatalf("ParseKinds(%q): %v", c.in, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("ParseKinds(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ParseKinds(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+	if _, err := ParseKinds("act,bogus"); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestJSONLJobTag(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	rec := NewRecorder(j)
+	rec.Emit(Event{Kind: KindACT, Cycle: 1, Bank: 0, Row: 5, Domain: -1})
+	rec.SetJob("job-7")
+	rec.Emit(Event{Kind: KindACT, Cycle: 2, Bank: 0, Row: 5, Domain: -1})
+	rec.SetJob("") // untag
+	rec.Emit(Event{Kind: KindACT, Cycle: 3, Bank: 0, Row: 5, Domain: -1})
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v (%s)", i, err, line)
+		}
+		job, tagged := m["job"]
+		if i == 1 {
+			if job != "job-7" {
+				t.Fatalf("line 1 job = %v, want job-7", job)
+			}
+		} else if tagged {
+			t.Fatalf("line %d unexpectedly tagged: %s", i, line)
+		}
+	}
+}
+
+func TestChromeTraceJobTagAndAsyncSpan(t *testing.T) {
+	var buf bytes.Buffer
+	ct := NewChromeTrace(&buf)
+	ct.SetJob("job-3")
+	ct.Record(Event{Kind: KindREF, Cycle: 10, Bank: -1, Row: -1, Domain: -1})
+	// An event with no optional fields at all: the job arg must not
+	// produce a leading comma.
+	ct.Record(Event{Kind: KindREF, Cycle: 11, Bank: -1, Row: -1, Domain: -1})
+	ct.AsyncSpan(true, 1, "job", 0, [][2]string{{"trace", "00000000000000ab"}})
+	ct.AsyncSpan(true, 2, "cell \"quoted\"", 5.5, nil)
+	ct.AsyncSpan(false, 2, "cell \"quoted\"", 9.25, nil)
+	ct.AsyncSpan(false, 1, "job", 10, nil)
+	if err := ct.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			ID   uint64         `json:"id"`
+			Ts   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	spans, instants, spanProcNamed := 0, 0, false
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "b", "e":
+			spans++
+			if ev.Pid != ctPidSpans {
+				t.Fatalf("span on pid %d", ev.Pid)
+			}
+		case "i":
+			instants++
+			if ev.Args["job"] != "job-3" {
+				t.Fatalf("instant event missing job tag: %v", ev.Args)
+			}
+		case "M":
+			if name, _ := ev.Args["name"].(string); ev.Pid == ctPidSpans && name == "trace" {
+				spanProcNamed = true
+			}
+		}
+	}
+	if spans != 4 || instants != 2 {
+		t.Fatalf("got %d span halves, %d instants; want 4, 2", spans, instants)
+	}
+	if !spanProcNamed {
+		t.Fatal("spans process not named")
+	}
+}
+
+func TestSyncSinkDelegatesSetJob(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	s := NewSyncSink(j)
+	rec := NewRecorder(s)
+	rec.SetJob("job-9")
+	rec.Emit(Event{Kind: KindACT, Cycle: 1, Bank: 0, Row: 1, Domain: -1})
+	rec.Flush()
+	if !strings.Contains(buf.String(), `"job":"job-9"`) {
+		t.Fatalf("job tag lost through SyncSink: %s", buf.String())
+	}
+	// A recorder whose sinks don't tag, and a nil recorder, are fine.
+	NewRecorder(NewRing(4)).SetJob("x")
+	var nr *Recorder
+	nr.SetJob("x")
+}

@@ -12,6 +12,11 @@
 // TestEmitDisabledAllocates and BenchmarkRecorderDisabled pin this.
 package obs
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Kind identifies what happened. Events are flat value structs with a
 // kind-specific Arg; Kind tells sinks how to label and route them.
 type Kind uint8
@@ -118,6 +123,36 @@ func Kinds() []Kind {
 	return out
 }
 
+// ParseKinds parses a comma-separated list of kind names ("act,bit-flip")
+// into kinds. The empty string and "all" both mean every kind (nil,
+// which SetKinds treats as "restore all"). Unknown names are an error
+// listing the valid names.
+func ParseKinds(csv string) ([]Kind, error) {
+	csv = strings.TrimSpace(csv)
+	if csv == "" || csv == "all" {
+		return nil, nil
+	}
+	var kinds []Kind
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for k, kn := range kindNames {
+			if kn == name {
+				kinds = append(kinds, Kind(k))
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown event kind %q (valid: %s)", name, strings.Join(kindNames[:], ","))
+		}
+	}
+	return kinds, nil
+}
+
 // Event is one simulator event. It is a flat value type — no pointers, no
 // strings — so emitting one allocates nothing. Fields that do not apply to
 // a kind hold their sentinel (-1 for Bank/Row/Domain, 0 for Line/Arg); see
@@ -188,6 +223,28 @@ func (r *Recorder) Emit(ev Event) {
 	}
 	for _, s := range r.sinks {
 		s.Record(ev)
+	}
+}
+
+// JobTagger is the optional sink interface for job attribution. Sinks
+// that implement it label subsequent events with the owning hammerd job
+// ID — once, on the sink, not per event, so the Emit path stays
+// allocation-free.
+type JobTagger interface {
+	SetJob(id string)
+}
+
+// SetJob tags every sink implementing JobTagger with the job ID, so
+// events from concurrent sessions stay distinguishable in merged sinks.
+// Safe on a nil receiver.
+func (r *Recorder) SetJob(id string) {
+	if r == nil {
+		return
+	}
+	for _, s := range r.sinks {
+		if t, ok := s.(JobTagger); ok {
+			t.SetJob(id)
+		}
 	}
 }
 

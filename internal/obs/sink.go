@@ -77,6 +77,10 @@ func (r *Ring) Count(k Kind) int {
 type JSONL struct {
 	w   *bufio.Writer
 	err error
+	// jobFrag is the precomputed `,"job":"<id>"` tail appended to every
+	// line once SetJob is called — job attribution without per-event
+	// allocation.
+	jobFrag string
 }
 
 // NewJSONL returns a JSONL sink writing to w.
@@ -114,7 +118,28 @@ func (j *JSONL) Record(ev Event) {
 		b.WriteString(`,"arg":`)
 		writeUint(b, ev.Arg)
 	}
+	b.WriteString(j.jobFrag)
 	b.WriteString("}\n")
+}
+
+// SetJob implements JobTagger: subsequent lines carry `"job":"<id>"`.
+func (j *JSONL) SetJob(id string) {
+	if id == "" {
+		j.jobFrag = ""
+		return
+	}
+	j.jobFrag = `,"job":` + jsonString(id)
+}
+
+// Raw writes one pre-built JSON line verbatim (a trailing newline is
+// added). It lets non-Event records — telemetry span exports — share a
+// JSONL stream with simulator events.
+func (j *JSONL) Raw(line string) {
+	if j.err != nil {
+		return
+	}
+	j.w.WriteString(line)
+	j.w.WriteByte('\n')
 }
 
 // Flush implements Sink.
@@ -135,6 +160,9 @@ func writeInt(b *bufio.Writer, v int) {
 	var scratch [20]byte
 	b.Write(strconv.AppendInt(scratch[:0], int64(v), 10))
 }
+
+// jsonString quotes and escapes s as a JSON string literal.
+func jsonString(s string) string { return strconv.Quote(s) }
 
 // ChromeTrace streams events in Chrome trace-event JSON format, loadable
 // in Perfetto (ui.perfetto.dev) or chrome://tracing. Layout:
@@ -157,6 +185,8 @@ type ChromeTrace struct {
 	wrote   bool
 	flushed bool
 	named   map[[2]int]bool
+	jobFrag string // precomputed `"job":"<id>"` args field, "" when untagged
+	spanPid bool   // pid 3 process_name emitted
 }
 
 // Chrome-trace process ids (tracks group under these).
@@ -164,6 +194,7 @@ const (
 	ctPidDRAM    = 0
 	ctPidDefense = 1
 	ctPidSystem  = 2
+	ctPidSpans   = 3
 )
 
 // NewChromeTrace returns a sink writing a Chrome trace-event file to w.
@@ -223,6 +254,61 @@ func (c *ChromeTrace) Record(ev Event) {
 	}
 	if ev.Arg != 0 {
 		field("arg", int64(ev.Arg))
+	}
+	if c.jobFrag != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(c.jobFrag)
+	}
+	b.WriteString("}}")
+}
+
+// SetJob implements JobTagger: subsequent events carry a "job" arg.
+func (c *ChromeTrace) SetJob(id string) {
+	if id == "" {
+		c.jobFrag = ""
+		return
+	}
+	c.jobFrag = `"job":` + jsonString(id)
+}
+
+// AsyncSpan writes one half of an async span event — ph "b" (begin) or
+// "e" (end) — on the spans process (pid 3). Perfetto groups async
+// events by (cat, id) and nests unbalanced begins within a group, so
+// telemetry lanes map to ids: each parallel grid cell gets its own id
+// and its machine-phase children nest inside it. tsMicros is wall time
+// relative to the trace origin; args are pre-escaped by this method.
+func (c *ChromeTrace) AsyncSpan(begin bool, id uint64, name string, tsMicros float64, args [][2]string) {
+	if c.err != nil {
+		return
+	}
+	if !c.spanPid {
+		c.spanPid = true
+		c.metaEvent(ctPidSpans, -1, "process_name", "trace")
+	}
+	c.sep()
+	b := c.w
+	b.WriteString(`{"name":`)
+	b.WriteString(jsonString(name))
+	if begin {
+		b.WriteString(`,"cat":"span","ph":"b","id":`)
+	} else {
+		b.WriteString(`,"cat":"span","ph":"e","id":`)
+	}
+	writeUint(b, id)
+	b.WriteString(`,"pid":`)
+	writeInt(b, ctPidSpans)
+	b.WriteString(`,"tid":0,"ts":`)
+	b.WriteString(strconv.FormatFloat(tsMicros, 'f', 3, 64))
+	b.WriteString(`,"args":{`)
+	for i, kv := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(jsonString(kv[0]))
+		b.WriteByte(':')
+		b.WriteString(jsonString(kv[1]))
 	}
 	b.WriteString("}}")
 }
@@ -325,4 +411,13 @@ func (s *SyncSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.inner.Flush()
+}
+
+// SetJob implements JobTagger by delegating to the inner sink.
+func (s *SyncSink) SetJob(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.inner.(JobTagger); ok {
+		t.SetJob(id)
+	}
 }

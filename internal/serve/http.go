@@ -7,26 +7,46 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
+
+	"hammertime/internal/obs"
+	"hammertime/internal/telemetry"
 )
 
 // The HTTP/JSON surface of hammerd. Everything is plain net/http over
 // the Manager — submit, status, result, cancel, plus the operational
 // trio (healthz, readyz, metrics):
 //
-//	POST   /v1/jobs             {"experiment":"e1","horizon":400000}  -> 202 JobView
+//	POST   /v1/jobs             {"experiment":"e1","horizon":400000}  -> 202 JobView (carries trace_id)
 //	GET    /v1/jobs             -> {"jobs":[JobView...]} (newest first)
 //	GET    /v1/jobs/{id}        -> JobView
 //	GET    /v1/jobs/{id}/result -> the rendered table (text/plain)
+//	GET    /v1/jobs/{id}/events -> live SSE stream: state transitions,
+//	                               per-cell completions, progress
+//	                               (done/total, events/sec, ETA), and —
+//	                               when the job was submitted with
+//	                               "events" — raw simulator events
+//	GET    /v1/jobs/{id}/trace  -> the job's span trace as a Chrome
+//	                               trace (load in Perfetto);
+//	                               ?format=jsonl for span-per-line JSON
 //	DELETE /v1/jobs/{id}        -> cancels; 202 JobView
 //	GET    /healthz             -> 200 while the daemon lives
 //	GET    /readyz              -> 200 accepting, 503 draining
-//	GET    /metrics             -> server + job counters (JSON)
+//	GET    /metrics             -> server + job counters: JSON by
+//	                               default, Prometheus text exposition
+//	                               when Accept mentions text/plain or
+//	                               openmetrics
 //
 // Admission errors are typed: 429 + Retry-After for a full queue or an
 // over-rate client, 503 + Retry-After while draining. Clients are
 // keyed by the X-Hammertime-Client header when present, else by remote
 // address, so smoke tests and multi-tenant callers can pin identities.
+//
+// Every response passes through the instrumentation middleware: an
+// access log line (method, route, status, latency, client) on the
+// manager's logger and a per-route latency histogram + request counter
+// that surface in /metrics as serve_http_seconds / serve_http_requests.
 
 // NewHandler builds the daemon's HTTP handler over m.
 func NewHandler(m *Manager) http.Handler {
@@ -82,6 +102,38 @@ func NewHandler(m *Manager) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, table)
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		serveEvents(w, r, job)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		job, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		if job.scope == nil || job.scope.Tracer == nil {
+			httpError(w, http.StatusNotFound, fmt.Errorf("serve: job %s has no trace", job.ID))
+			return
+		}
+		spans := job.scope.Tracer.Snapshot()
+		if r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			j := obs.NewJSONL(w)
+			telemetry.ExportJSONL(j, spans)
+			_ = j.Flush()
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		ct := obs.NewChromeTrace(w)
+		ct.SetJob(job.ID)
+		telemetry.ExportChrome(ct, spans)
+		_ = ct.Flush()
+	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, err := m.Cancel(r.PathValue("id"))
 		if err != nil {
@@ -102,9 +154,147 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Content negotiation: JSON stays the default (existing tooling
+		// parses it); Prometheus scrapers send Accept: text/plain (or an
+		// openmetrics type) and get the text exposition format.
+		if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") ||
+			strings.Contains(accept, "openmetrics") {
+			w.Header().Set("Content-Type", telemetry.PromContentType)
+			telemetry.WritePrometheus(w, m.Metrics())
+			return
+		}
 		writeJSON(w, http.StatusOK, m.Metrics())
 	})
-	return mux
+	return instrument(m, mux)
+}
+
+// instrument wraps the mux with access logging and per-route metrics.
+// The route label is the mux pattern (not the raw path), so /metrics
+// cardinality stays bounded no matter what clients request; the
+// pattern is resolved with mux.Handler before serving because
+// r.Pattern is only set on the request the mux itself dispatches.
+func instrument(m *Manager, mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		mux.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		m.observeHTTP(route, sw.Status(), elapsed.Seconds())
+		m.log.Info("http",
+			"method", r.Method, "path", r.URL.Path, "route", route,
+			"status", sw.Status(), "latency", elapsed, "client", clientKey(r))
+	})
+}
+
+// statusWriter captures the response status for the access log and
+// metrics. It forwards Flush so streaming handlers (the SSE stream)
+// keep working through the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Status returns the written status (200 if the handler never wrote one).
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// Flush forwards to the underlying writer so SSE responses stream.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// sseKeepalive is the comment-ping interval on idle event streams.
+var sseKeepalive = 15 * time.Second
+
+// serveEvents streams the job's hub over Server-Sent Events. Each hub
+// record becomes one SSE event (`event:` = record type, `data:` = the
+// JSON payload); ring overflow is reported as a "drop" event with the
+// count rather than silently losing history; an initial and a final
+// "state" event bracket the stream so a late subscriber still sees
+// where the job stands. The stream ends when the job reaches a
+// terminal state or the client disconnects.
+func serveEvents(w http.ResponseWriter, r *http.Request, job *Job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok || job.scope == nil || job.scope.Hub == nil {
+		httpError(w, http.StatusInternalServerError,
+			errors.New("serve: event stream unsupported"))
+		return
+	}
+	sub := job.scope.Hub.Subscribe(256)
+	defer job.scope.Hub.Unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	writeSSE(w, "state", job.View())
+	flusher.Flush()
+
+	keepalive := time.NewTicker(sseKeepalive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-job.Done():
+			// Final drain: everything the run published lands in the ring
+			// before the terminal transition closes Done.
+			drainSSE(w, sub)
+			writeSSE(w, "state", job.View())
+			flusher.Flush()
+			return
+		case <-sub.Notify():
+			drainSSE(w, sub)
+			flusher.Flush()
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
+		}
+	}
+}
+
+// drainSSE empties the subscriber's ring onto the wire.
+func drainSSE(w http.ResponseWriter, sub *telemetry.Subscriber) {
+	msgs, dropped := sub.Take()
+	if dropped > 0 {
+		writeSSE(w, "drop", map[string]uint64{"dropped": dropped})
+	}
+	for _, msg := range msgs {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", msg.Type, msg.Data)
+	}
+}
+
+// writeSSE marshals v as one SSE event.
+func writeSSE(w http.ResponseWriter, typ string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", typ, b)
 }
 
 // clientKey identifies the submitting client for rate limiting.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"hammertime/internal/telemetry"
 )
 
 // JobState is a job's position in its lifecycle.
@@ -41,6 +43,13 @@ type JobRequest struct {
 	// Timeout overrides the daemon's per-job deadline for this job
 	// (capped at the daemon's; 0 = daemon default).
 	Timeout Duration `json:"timeout,omitempty"`
+	// Events, when non-empty, streams simulator events over the job's
+	// SSE stream (GET /v1/jobs/{id}/events): a comma-separated list of
+	// obs kind names ("bit-flip,trr-cure"), or "all". Off by default —
+	// attaching a recorder disables the simulator's unobserved
+	// fast-forward path, so raw event streaming is strictly opt-in.
+	// Progress and cell-completion records stream regardless.
+	Events string `json:"events,omitempty"`
 }
 
 // Duration is a time.Duration that marshals as a Go duration string
@@ -96,6 +105,35 @@ type Job struct {
 	runCtx context.Context
 
 	done chan struct{} // closed on any terminal transition
+
+	// scope is the job's telemetry: its tracer (one trace per job), the
+	// hub its SSE subscribers attach to, and — only when the request
+	// opted in via Events — the obs recorder streaming simulator events.
+	// Immutable after submission.
+	scope *telemetry.Scope
+	// Lifecycle spans: job covers submit→terminal, queued covers the
+	// queue wait, run covers the session's execution. Ended by the
+	// manager at the matching transitions; Span.End is first-wins, so
+	// the belt-and-braces endSpans on terminal transitions is safe.
+	jobSpan, queuedSpan, runSpan *telemetry.Span
+}
+
+// TraceID returns the job's telemetry trace id ("" without a scope).
+func (j *Job) TraceID() string {
+	if j.scope == nil || j.scope.Tracer == nil {
+		return ""
+	}
+	return j.scope.Tracer.ID().String()
+}
+
+// endSpans closes any still-open lifecycle spans (End keeps the first
+// end, so spans already closed at their proper transition are not
+// moved). Called on terminal transitions so a cancelled-while-queued
+// job doesn't leak open spans into its trace.
+func (j *Job) endSpans(err error) {
+	j.runSpan.EndErr(err)
+	j.queuedSpan.End()
+	j.jobSpan.EndErr(err)
 }
 
 // JobView is an immutable snapshot of a job for status responses.
@@ -108,6 +146,9 @@ type JobView struct {
 	Started    *time.Time `json:"started,omitempty"`
 	Finished   *time.Time `json:"finished,omitempty"`
 	Error      string     `json:"error,omitempty"`
+	// TraceID is the job's telemetry trace id; fetch the trace at
+	// GET /v1/jobs/{id}/trace and match spans by this id.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // View snapshots the job under its lock.
@@ -121,6 +162,7 @@ func (j *Job) View() JobView {
 		State:      j.state,
 		Submitted:  j.submitted,
 		Error:      j.errMsg,
+		TraceID:    j.TraceID(),
 	}
 	if !j.started.IsZero() {
 		t := j.started

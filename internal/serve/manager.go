@@ -17,12 +17,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hammertime/internal/harness"
+	"hammertime/internal/obs"
 	"hammertime/internal/sim"
+	"hammertime/internal/telemetry"
 )
 
 // RunFunc executes one job's simulation and returns the rendered result
@@ -51,6 +55,9 @@ type Config struct {
 	Chaos *Chaos
 	// Run overrides the simulation runner (nil = harness.Experiment).
 	Run RunFunc
+	// Logger receives structured request/job/drain logs (nil = silent,
+	// the historical behavior).
+	Logger *slog.Logger
 }
 
 func (c *Config) applyDefaults() {
@@ -102,6 +109,7 @@ var errChaosCancel = errors.New("serve: chaos: injected cancellation")
 type Manager struct {
 	cfg     Config
 	limiter *limiter
+	log     *slog.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelCauseFunc
@@ -126,6 +134,7 @@ func NewManager(cfg Config) *Manager {
 	m := &Manager{
 		cfg:        cfg,
 		limiter:    newLimiter(cfg.RatePerSec, cfg.Burst),
+		log:        telemetry.OrNop(cfg.Logger),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
@@ -148,6 +157,23 @@ func (m *Manager) count(name string) {
 	m.statsMu.Lock()
 	m.stats.Inc(name)
 	m.statsMu.Unlock()
+}
+
+// observeHTTP records one served request into the per-route metrics:
+// a latency histogram labeled by route pattern and a counter labeled
+// by route + status code. Routes are mux patterns, not raw paths, so
+// the label set stays bounded.
+func (m *Manager) observeHTTP(route string, status int, secs float64) {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	hname := "serve.http.seconds;route=" + route
+	if m.stats.Hist(hname) == nil {
+		// 0.5ms up through ~2min: API calls cluster at the bottom, SSE
+		// streams that follow a whole job live at the top.
+		m.stats.NewHistogram(hname, sim.ExpBuckets(0.0005, 4, 10))
+	}
+	m.stats.Observe(hname, secs)
+	m.stats.Inc("serve.http.requests;route=" + route + ";code=" + strconv.Itoa(status))
 }
 
 // Metrics snapshots the server counters plus live gauges.
@@ -183,6 +209,11 @@ func (m *Manager) Submit(client string, req JobRequest) (*Job, error) {
 		m.count("serve.jobs.rejected.invalid")
 		return nil, fmt.Errorf("serve: negative timeout %v", time.Duration(req.Timeout))
 	}
+	kinds, err := obs.ParseKinds(req.Events)
+	if err != nil {
+		m.count("serve.jobs.rejected.invalid")
+		return nil, fmt.Errorf("serve: bad events filter: %w", err)
+	}
 	if ok, retry := m.limiter.allow(client); !ok {
 		m.count("serve.jobs.rejected.rate")
 		return nil, &OverloadError{Reason: "client rate limit", RetryAfter: retry}
@@ -200,6 +231,28 @@ func (m *Manager) Submit(client string, req JobRequest) (*Job, error) {
 	}
 	job.runCtx = jctx
 
+	// Every job carries a telemetry scope: a tracer (the trace id goes
+	// back in the submit response) and a hub for its SSE stream. The obs
+	// recorder is attached only when the request opted into raw event
+	// streaming — it would disable the simulator's unobserved fast path.
+	job.scope = &telemetry.Scope{Tracer: telemetry.NewTracer(), Hub: telemetry.NewHub()}
+	if req.Events != "" {
+		rec := obs.NewRecorder(job.scope.Hub.ObsSink())
+		if len(kinds) > 0 {
+			rec.SetKinds(kinds...)
+		}
+		rec.SetJob(job.ID)
+		job.scope.Observer = rec
+	}
+	sctx := telemetry.NewContext(context.Background(), job.scope)
+	sctx, job.jobSpan = telemetry.StartSpan(sctx, "job")
+	job.jobSpan.SetAttrs(
+		telemetry.String("job", job.ID),
+		telemetry.String("experiment", req.Experiment),
+		telemetry.String("client", client),
+	)
+	_, job.queuedSpan = telemetry.StartSpan(sctx, "queued")
+
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
@@ -212,6 +265,10 @@ func (m *Manager) Submit(client string, req JobRequest) (*Job, error) {
 		m.jobs[job.ID] = job
 		m.mu.Unlock()
 		m.count("serve.jobs.submitted")
+		m.log.Info("job submitted",
+			"job", job.ID, "trace", job.TraceID(), "client", client,
+			"experiment", req.Experiment, "horizon", req.Horizon)
+		m.publishState(job)
 		return job, nil
 	default:
 		m.mu.Unlock()
@@ -221,6 +278,15 @@ func (m *Manager) Submit(client string, req JobRequest) (*Job, error) {
 		// for at least a second; deeper queues push Retry-After out.
 		retry := time.Duration(1+m.cfg.QueueDepth/m.cfg.Sessions) * time.Second
 		return nil, &OverloadError{Reason: "queue full", RetryAfter: retry}
+	}
+}
+
+// publishState pushes the job's current view onto its hub as a "state"
+// record, so SSE subscribers see lifecycle transitions alongside
+// progress. Free when nobody is subscribed.
+func (m *Manager) publishState(job *Job) {
+	if job.scope != nil {
+		job.scope.Hub.Publish("state", job.View())
 	}
 }
 
@@ -253,6 +319,9 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 	job.mu.Unlock()
 	if queued && job.transition(StateCancelled, cause.Error()) {
 		m.count("serve.jobs.cancelled")
+		job.endSpans(cause)
+		m.log.Info("job cancelled while queued", "job", job.ID, "trace", job.TraceID())
+		m.publishState(job)
 	}
 	return job, nil
 }
@@ -290,7 +359,9 @@ func (m *Manager) Drain(ctx context.Context) error {
 		m.draining = true
 		close(m.queue)
 	}
+	queued := len(m.queue)
 	m.mu.Unlock()
+	m.log.Info("drain started", "running", m.running.Load(), "queued", queued)
 
 	done := make(chan struct{})
 	go func() {
@@ -299,10 +370,12 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		m.log.Info("drain complete")
 		return nil
 	case <-ctx.Done():
 		m.baseCancel(fmt.Errorf("serve: drain deadline: %w", context.Cause(ctx)))
 		<-done
+		m.log.Warn("drain deadline exceeded, in-flight jobs cancelled")
 		return fmt.Errorf("serve: drain deadline exceeded, in-flight jobs cancelled")
 	}
 }
@@ -324,6 +397,8 @@ func (m *Manager) session(id int) {
 					}
 					if job.transition(StateCancelled, "serve: daemon shutdown") {
 						m.count("serve.jobs.cancelled")
+						job.endSpans(errors.New("serve: daemon shutdown"))
+						m.publishState(job)
 					}
 				default:
 					return
@@ -375,29 +450,55 @@ func (m *Manager) runJob(session int, job *Job) {
 	if !job.transition(StateRunning, "") {
 		return
 	}
+	// The queue wait is over; the run span nests under the job span (the
+	// session's cancellable ctx gains the job's scope + job span so grid
+	// and machine spans started inside the harness land in this trace).
+	job.queuedSpan.End()
+	ctx = telemetry.WithSpan(telemetry.NewContext(ctx, job.scope), job.jobSpan)
+	ctx, runSpan := telemetry.StartSpan(ctx, "run")
+	runSpan.SetAttrs(telemetry.Int("session", int64(session)))
+	job.runSpan = runSpan
+	m.log.Info("job running",
+		"job", job.ID, "trace", job.TraceID(), "session", session,
+		"experiment", job.Request.Experiment)
+	m.publishState(job)
+
 	m.running.Add(1)
 	start := time.Now()
 	table, err, panicked := m.attempt(ctx, job)
 	m.running.Add(-1)
+	elapsed := time.Since(start)
 	m.statsMu.Lock()
-	m.stats.Observe("serve.job.seconds", time.Since(start).Seconds())
+	m.stats.Observe("serve.job.seconds", elapsed.Seconds())
 	m.statsMu.Unlock()
 
 	switch {
 	case panicked:
 		m.count("serve.jobs.panicked")
 		job.transition(StateFailed, err.Error())
+		m.log.Error("job session panicked",
+			"job", job.ID, "trace", job.TraceID(), "session", session, "err", err)
 	case err != nil && (ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 		m.count("serve.jobs.cancelled")
 		job.transition(StateCancelled, err.Error())
+		m.log.Info("job cancelled",
+			"job", job.ID, "trace", job.TraceID(), "session", session,
+			"elapsed", elapsed, "cause", err)
 	case err != nil:
 		m.count("serve.jobs.failed")
 		job.transition(StateFailed, err.Error())
+		m.log.Warn("job failed",
+			"job", job.ID, "trace", job.TraceID(), "session", session,
+			"elapsed", elapsed, "err", err)
 	default:
 		m.count("serve.jobs.done")
 		job.setResult(table)
+		m.log.Info("job done",
+			"job", job.ID, "trace", job.TraceID(), "session", session,
+			"elapsed", elapsed)
 	}
-	_ = session
+	job.endSpans(err)
+	m.publishState(job)
 }
 
 // attempt runs the job's simulation with panic isolation: a panic — a

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"encoding/json"
+	"sync"
 	"testing"
 )
 
@@ -208,5 +209,137 @@ func TestStatsStringIncludesNewSections(t *testing.T) {
 	want := "c=1\ng=2\nv=[0 3]\nh=count:1 sum:0.5\n"
 	if got != want {
 		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestHistogramObserveOutOfRange pins the edge buckets: a sample below
+// the first ExpBuckets bound lands in bucket 0 (bounds are inclusive
+// upper edges), a sample exactly on a bound lands in that bound's
+// bucket, and a sample above the last bound lands in the overflow
+// bucket — never dropped.
+func TestHistogramObserveOutOfRange(t *testing.T) {
+	var s Stats
+	h := s.NewHistogram("lat", ExpBuckets(0.001, 10, 3)) // 0.001, 0.01, 0.1
+	h.Observe(0.0000001) // far below the first bound
+	h.Observe(0.001)     // exactly on the first bound: inclusive
+	h.Observe(0.01)      // exactly on a middle bound
+	h.Observe(42)        // far above the last bound
+	want := []uint64{2, 1, 0, 1}
+	got := h.Counts()
+	if len(got) != len(want) {
+		t.Fatalf("counts length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", got, want)
+		}
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if sum := h.Sum(); sum < 42.011 || sum > 42.0111 {
+		t.Fatalf("sum = %g", sum)
+	}
+}
+
+// TestStatsMergeDisjointKeys merges two registries with no key overlap:
+// every metric of both must survive, values unchanged.
+func TestStatsMergeDisjointKeys(t *testing.T) {
+	var a, b Stats
+	a.Add("left.counter", 3)
+	a.SetGauge("left.gauge", 1.5)
+	a.AddVec("left.vec", 1, 7)
+	a.NewHistogram("left.hist", ExpBuckets(1, 2, 4)).Observe(3)
+
+	b.Add("right.counter", 5)
+	b.SetGauge("right.gauge", 2.5)
+	b.AddVec("right.vec", 0, 9)
+	b.NewHistogram("right.hist", ExpBuckets(1, 10, 2)).Observe(100)
+
+	a.Merge(&b)
+	if a.Counter("left.counter") != 3 || a.Counter("right.counter") != 5 {
+		t.Fatalf("counters: left=%d right=%d", a.Counter("left.counter"), a.Counter("right.counter"))
+	}
+	if a.Gauge("left.gauge") != 1.5 || a.Gauge("right.gauge") != 2.5 {
+		t.Fatal("gauges lost in disjoint merge")
+	}
+	if v := a.Vec("left.vec"); len(v) != 2 || v[1] != 7 {
+		t.Fatalf("left.vec = %v", v)
+	}
+	if v := a.Vec("right.vec"); len(v) != 1 || v[0] != 9 {
+		t.Fatalf("right.vec = %v", v)
+	}
+	lh, rh := a.Hist("left.hist"), a.Hist("right.hist")
+	if lh == nil || rh == nil {
+		t.Fatal("histograms lost in disjoint merge")
+	}
+	if lh.Count() != 1 || rh.Count() != 1 || rh.Sum() != 100 {
+		t.Fatalf("hist counts: left=%d right=%d sum=%g", lh.Count(), rh.Count(), rh.Sum())
+	}
+	// The merged-in histogram must be a copy: observing into b afterwards
+	// must not move a's view.
+	b.Observe("right.hist", 100)
+	if rh.Count() != 1 {
+		t.Fatal("merged histogram aliases the source registry")
+	}
+}
+
+// TestStatsConcurrentSnapshotVsInc exercises the supported concurrent
+// pattern (a Stats shared across goroutines behind a mutex, as
+// serve.Manager does) under the race detector: writers Inc/Observe
+// while readers Snapshot, all holding the lock; every snapshot must be
+// internally consistent and safe to read after release.
+func TestStatsConcurrentSnapshotVsInc(t *testing.T) {
+	var (
+		mu sync.Mutex
+		s  Stats
+	)
+	s.NewHistogram("h", ExpBuckets(1, 2, 8))
+	const (
+		writers = 4
+		perG    = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				mu.Lock()
+				s.Inc("c")
+				s.Observe("h", float64(i%32))
+				mu.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				mu.Lock()
+				snap := s.Snapshot()
+				mu.Unlock()
+				// The deep copy is read outside the lock, racing the
+				// writers only if Snapshot aliased live state.
+				for _, h := range snap.Histograms {
+					var n uint64
+					for _, c := range h.Counts {
+						n += c
+					}
+					if n != h.Count {
+						t.Errorf("snapshot histogram internally inconsistent: buckets %d, count %d", n, h.Count)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("c"); got != writers*perG {
+		t.Fatalf("final counter %d, want %d", got, writers*perG)
+	}
+	if got := s.Hist("h").Count(); got != writers*perG {
+		t.Fatalf("final histogram count %d, want %d", got, writers*perG)
 	}
 }

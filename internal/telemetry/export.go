@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"time"
+
+	"hammertime/internal/obs"
+)
+
+// spanEvent is one begin or end half of a span, the unit Chrome export
+// sorts: Perfetto nests async events by emission order within a lane, so
+// the halves must be written in the global begin/end order the tracer
+// observed (startSeq/endSeq), not span by span.
+type spanEvent struct {
+	seq   uint64
+	begin bool
+	span  SpanSnap
+}
+
+// ExportChrome writes the spans into ct as async begin/end events on the
+// spans process, lanes as async ids. Spans still in flight (End zero)
+// are closed at the latest timestamp in the snapshot and tagged
+// inflight, so a trace fetched mid-run still renders. The simulator's
+// instant events use simulation cycles as timestamps while spans use
+// wall-clock microseconds from the first span's start; they share a file
+// but not a clock, which is why spans live on their own process.
+func ExportChrome(ct *obs.ChromeTrace, spans []SpanSnap) {
+	if len(spans) == 0 {
+		return
+	}
+	origin := spans[0].Start
+	var maxSeq uint64
+	var latest time.Time
+	for _, s := range spans {
+		if s.Start.Before(origin) {
+			origin = s.Start
+		}
+		if s.StartSeq > maxSeq {
+			maxSeq = s.StartSeq
+		}
+		if s.EndSeq > maxSeq {
+			maxSeq = s.EndSeq
+		}
+		if s.Start.After(latest) {
+			latest = s.Start
+		}
+		if s.End.After(latest) {
+			latest = s.End
+		}
+	}
+	events := make([]spanEvent, 0, 2*len(spans))
+	for _, s := range spans {
+		events = append(events, spanEvent{seq: s.StartSeq, begin: true, span: s})
+		endSeq := s.EndSeq
+		if s.End.IsZero() {
+			// In flight: synthesize an end after every real event.
+			maxSeq++
+			endSeq = maxSeq
+			s.End = latest
+		}
+		events = append(events, spanEvent{seq: endSeq, begin: false, span: s})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].seq < events[j].seq })
+	for _, ev := range events {
+		s := ev.span
+		ts := s.Start
+		if !ev.begin {
+			ts = s.End
+		}
+		var args [][2]string
+		if ev.begin {
+			args = append(args,
+				[2]string{"trace", s.Trace.String()},
+				[2]string{"span", strconv.FormatUint(uint64(s.ID), 10)},
+			)
+			if s.Parent != 0 {
+				args = append(args, [2]string{"parent", strconv.FormatUint(uint64(s.Parent), 10)})
+			}
+			for _, a := range s.Attrs {
+				args = append(args, [2]string{a.Key, a.Val})
+			}
+		} else {
+			if s.HasCycles {
+				args = append(args,
+					[2]string{"start_cycle", strconv.FormatUint(s.StartCycle, 10)},
+					[2]string{"end_cycle", strconv.FormatUint(s.EndCycle, 10)},
+				)
+			}
+			if s.Err != "" {
+				args = append(args, [2]string{"err", s.Err})
+			}
+			if s.EndSeq == 0 {
+				args = append(args, [2]string{"inflight", "true"})
+			}
+		}
+		micros := float64(ts.Sub(origin)) / float64(time.Microsecond)
+		ct.AsyncSpan(ev.begin, uint64(s.Lane), s.Name, micros, args)
+	}
+}
+
+// spanWire is the JSONL form of one span.
+type spanWire struct {
+	Type       string          `json:"type"`
+	Trace      string          `json:"trace"`
+	Span       uint64          `json:"span"`
+	Parent     uint64          `json:"parent,omitempty"`
+	Lane       uint64          `json:"lane"`
+	Name       string          `json:"name"`
+	Start      time.Time       `json:"start"`
+	End        *time.Time      `json:"end,omitempty"`
+	DurUS      float64         `json:"dur_us,omitempty"`
+	StartCycle uint64          `json:"start_cycle,omitempty"`
+	EndCycle   uint64          `json:"end_cycle,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Err        string          `json:"err,omitempty"`
+}
+
+// ExportJSONL writes one `{"type":"span",...}` line per span into j,
+// suitable for mixing with (job-tagged) simulator event lines in the
+// same stream.
+func ExportJSONL(j *obs.JSONL, spans []SpanSnap) {
+	for _, s := range spans {
+		w := spanWire{
+			Type:       "span",
+			Trace:      s.Trace.String(),
+			Span:       uint64(s.ID),
+			Parent:     uint64(s.Parent),
+			Lane:       uint64(s.Lane),
+			Name:       s.Name,
+			Start:      s.Start,
+			StartCycle: s.StartCycle,
+			EndCycle:   s.EndCycle,
+			Err:        s.Err,
+		}
+		if !s.End.IsZero() {
+			end := s.End
+			w.End = &end
+			w.DurUS = float64(s.End.Sub(s.Start)) / float64(time.Microsecond)
+		}
+		if len(s.Attrs) > 0 {
+			w.Attrs = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				w.Attrs[a.Key] = a.Val
+			}
+		}
+		line, err := json.Marshal(w)
+		if err != nil {
+			continue
+		}
+		j.Raw(string(line))
+	}
+}

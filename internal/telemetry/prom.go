@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+
+	"hammertime/internal/sim"
+)
+
+// PromContentType is the Content-Type of Prometheus text exposition
+// format 0.0.4, the format WritePrometheus produces.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders a sim.StatsSnapshot in Prometheus text
+// exposition format.
+//
+// Metric names are the stats names with every character outside
+// [a-zA-Z0-9_:] replaced by '_' ("serve.job.seconds" scrapes as
+// serve_job_seconds). A stats name of the form "base;k=v;k2=v2" becomes
+// base{k="v",k2="v2"} — the convention the serve layer uses for
+// per-route metrics. Counters and vectors expose as counters (vectors
+// with an idx label), gauges as gauges, histograms as cumulative
+// _bucket/_sum/_count families with a closing +Inf bucket.
+func WritePrometheus(w io.Writer, snap sim.StatsSnapshot) error {
+	b := bufio.NewWriter(w)
+	typed := make(map[string]bool)
+	family := func(name, kind string) {
+		if !typed[name] {
+			typed[name] = true
+			b.WriteString("# TYPE ")
+			b.WriteString(name)
+			b.WriteByte(' ')
+			b.WriteString(kind)
+			b.WriteByte('\n')
+		}
+	}
+	for _, c := range snap.Counters {
+		name, labels := promName(c.Name)
+		family(name, "counter")
+		b.WriteString(name)
+		writeLabels(b, labels, "", "")
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(c.Value, 10))
+		b.WriteByte('\n')
+	}
+	for _, g := range snap.Gauges {
+		name, labels := promName(g.Name)
+		family(name, "gauge")
+		b.WriteString(name)
+		writeLabels(b, labels, "", "")
+		b.WriteByte(' ')
+		b.WriteString(promFloat(g.Value))
+		b.WriteByte('\n')
+	}
+	for _, v := range snap.Vectors {
+		name, labels := promName(v.Name)
+		family(name, "counter")
+		for i, val := range v.Values {
+			b.WriteString(name)
+			writeLabels(b, labels, "idx", strconv.Itoa(i))
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(val, 10))
+			b.WriteByte('\n')
+		}
+	}
+	for _, h := range snap.Histograms {
+		name, labels := promName(h.Name)
+		family(name, "histogram")
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			b.WriteString(name)
+			b.WriteString("_bucket")
+			writeLabels(b, labels, "le", promFloat(bound))
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(cum, 10))
+			b.WriteByte('\n')
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabels(b, labels, "le", "+Inf")
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(h.Count, 10))
+		b.WriteByte('\n')
+		b.WriteString(name)
+		b.WriteString("_sum")
+		writeLabels(b, labels, "", "")
+		b.WriteByte(' ')
+		b.WriteString(promFloat(h.Sum))
+		b.WriteByte('\n')
+		b.WriteString(name)
+		b.WriteString("_count")
+		writeLabels(b, labels, "", "")
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(h.Count, 10))
+		b.WriteByte('\n')
+	}
+	return b.Flush()
+}
+
+// promName splits "base;k=v;..." into the mangled metric name and its
+// label pairs.
+func promName(statsName string) (name string, labels [][2]string) {
+	parts := strings.Split(statsName, ";")
+	name = mangle(parts[0])
+	for _, p := range parts[1:] {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			k, v = "label", p
+		}
+		labels = append(labels, [2]string{mangle(k), v})
+	}
+	return name, labels
+}
+
+// writeLabels renders {k="v",...}; extraK/extraV append one more pair
+// (the le bound, the vector idx) when extraK is non-empty.
+func writeLabels(b *bufio.Writer, labels [][2]string, extraK, extraV string) {
+	if len(labels) == 0 && extraK == "" {
+		return
+	}
+	b.WriteByte('{')
+	first := true
+	pair := func(k, v string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	for _, kv := range labels {
+		pair(kv[0], kv[1])
+	}
+	if extraK != "" {
+		pair(extraK, extraV)
+	}
+	b.WriteByte('}')
+}
+
+// mangle maps a stats name onto the Prometheus metric-name alphabet.
+func mangle(s string) string {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			if out != nil {
+				out = append(out, c)
+			}
+			continue
+		}
+		if out == nil {
+			out = append([]byte{}, s[:i]...)
+		}
+		out = append(out, '_')
+	}
+	if out == nil {
+		return s
+	}
+	return string(out)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// promFloat renders a float the way Prometheus text format expects.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

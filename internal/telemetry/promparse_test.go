@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// checkExposition is a strict structural parser for Prometheus text
+// exposition format 0.0.4 — the CI-side validator for what
+// WritePrometheus (and hammerd's /metrics) produce. It verifies:
+//
+//   - every non-comment line is `name[{labels}] value`;
+//   - metric names and label keys stay in the legal alphabets;
+//   - label values are properly quoted and escaped;
+//   - every sample's family has a preceding # TYPE line;
+//   - histogram families have monotonically non-decreasing buckets, a
+//     +Inf bucket, and _count equal to the +Inf bucket.
+func checkExposition(text string) error {
+	types := map[string]string{}
+	infBucket := map[string]float64{}
+	lastBucket := map[string]float64{}
+	counts := map[string]float64{}
+
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if _, ok := types[family]; !ok {
+			return fmt.Errorf("line %d: sample %q has no # TYPE line", lineNo, name)
+		}
+		if types[family] == "histogram" {
+			key := family + "|" + labelsKeyWithout(labels, "le")
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: bucket without le label", lineNo)
+				}
+				if le == "+Inf" {
+					infBucket[key] = value
+				} else {
+					if _, err := strconv.ParseFloat(le, 64); err != nil {
+						return fmt.Errorf("line %d: bad le %q", lineNo, le)
+					}
+					if prev, ok := lastBucket[key]; ok && value < prev {
+						return fmt.Errorf("line %d: bucket counts not cumulative (%g after %g)", lineNo, value, prev)
+					}
+					lastBucket[key] = value
+				}
+			case strings.HasSuffix(name, "_count"):
+				counts[key] = value
+			}
+		}
+	}
+	for key, c := range counts {
+		inf, ok := infBucket[key]
+		if !ok {
+			return fmt.Errorf("histogram %s: no +Inf bucket", key)
+		}
+		if inf != c {
+			return fmt.Errorf("histogram %s: +Inf bucket %g != count %g", key, inf, c)
+		}
+		if last, ok := lastBucket[key]; ok && last > inf {
+			return fmt.Errorf("histogram %s: finite bucket %g exceeds +Inf %g", key, last, inf)
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[i+1:end], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return "", nil, 0, fmt.Errorf("no value in %q", line)
+		}
+		name, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	valStr := strings.Fields(rest)
+	if len(valStr) == 0 {
+		return "", nil, 0, fmt.Errorf("no value in %q", line)
+	}
+	if valStr[0] == "+Inf" || valStr[0] == "-Inf" || valStr[0] == "NaN" {
+		return name, labels, 0, nil
+	}
+	value, err = strconv.ParseFloat(valStr[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %w", valStr[0], err)
+	}
+	return name, labels, value, nil
+}
+
+func parseLabels(s string, out map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validLabelName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value for %q", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(s[i])
+				default:
+					return fmt.Errorf("bad escape \\%c", s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				out[key] = val.String()
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+		s = strings.TrimPrefix(s, ",")
+	}
+	return nil
+}
+
+func labelsKeyWithout(labels map[string]string, skip string) string {
+	var parts []string
+	for k, v := range labels {
+		if k != skip {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	// Map order is random; sort for a stable key.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
