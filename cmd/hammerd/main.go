@@ -6,7 +6,8 @@
 //   - a bounded session pool (-sessions) caps concurrent simulations;
 //   - a bounded queue (-queue) plus per-client token buckets (-rate,
 //     -burst) shed load with 429 + Retry-After instead of queueing
-//     without bound;
+//     without bound; Retry-After is derived from the measured queue
+//     drain rate (or the drain deadline), not a constant;
 //   - per-job deadlines (-job-timeout, or "timeout" per request) and
 //     client cancellation (DELETE) tear a running simulation down via
 //     the cooperative cancellation threaded through the simulator's
@@ -26,6 +27,21 @@
 //     asked for text/plain; -log-format/-log-level shape the
 //     structured request/job logs on stderr.
 //
+// Beyond the standalone default, hammerd runs as a cluster:
+//
+//   - -coordinator accepts jobs as usual but shards each experiment's
+//     grids cell-by-cell across registered workers, merging the partial
+//     results byte-identically to a serial run. Straggler and dead-worker
+//     cells are stolen and re-dispatched (or computed locally), so a
+//     worker crash never loses a run. A content-addressed result cache
+//     (-cache-bytes, -cache-spill) short-circuits cells already computed
+//     under the same determinism epoch, seed and grid config;
+//   - -worker http://coordinator:8077 turns the process into a stateless
+//     cell executor: it registers with the coordinator (heartbeats double
+//     as liveness), computes assigned cells with the same simulator, and
+//     returns exact result JSON plus its span trace, which the
+//     coordinator grafts into the job's trace.
+//
 // Quickstart:
 //
 //	hammerd -addr localhost:8077 &
@@ -38,6 +54,14 @@
 //	curl -s localhost:8077/healthz
 //	curl -s localhost:8077/metrics                         # JSON
 //	curl -s -H 'Accept: text/plain' localhost:8077/metrics # Prometheus
+//
+// Cluster quickstart (one coordinator, two workers):
+//
+//	hammerd -coordinator -addr localhost:8077 &
+//	hammerd -worker http://localhost:8077 -addr localhost:8078 &
+//	hammerd -worker http://localhost:8077 -addr localhost:8079 &
+//	curl -s localhost:8077/v1/cluster/workers
+//	curl -s -XPOST localhost:8077/v1/jobs -d '{"experiment":"e1","horizon":400000}'
 package main
 
 import (
@@ -53,31 +77,76 @@ import (
 	"syscall"
 	"time"
 
+	"hammertime/internal/cluster"
 	"hammertime/internal/harness"
 	"hammertime/internal/serve"
 )
 
+// options collects every flag; which subset applies depends on the mode
+// (standalone, -coordinator, -worker).
+type options struct {
+	addr         string
+	sessions     int
+	queue        int
+	rate         float64
+	burst        int
+	jobTimeout   time.Duration
+	drainTimeout time.Duration
+	chaosSpec    string
+	chaosSeed    uint64
+	trustClient  bool
+
+	coordinator     bool
+	workerOf        string
+	workerName      string
+	advertise       string
+	cacheBytes      int64
+	cacheSpill      string
+	dispatchTimeout time.Duration
+	workerTTL       time.Duration
+	batchCells      int
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", "localhost:8077", "HTTP listen address")
-		sessions     = flag.Int("sessions", 2, "session pool size: max concurrent simulations")
-		queue        = flag.Int("queue", 8, "max queued jobs; beyond this submissions are shed with 429")
-		rate         = flag.Float64("rate", 5, "per-client submissions per second (<0 disables rate limiting)")
-		burst        = flag.Int("burst", 10, "per-client token-bucket burst")
-		jobTimeout   = flag.Duration("job-timeout", 0, "per-job running deadline (0 = none); requests may tighten it")
-		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "graceful-drain bound on SIGTERM; running jobs are cancelled after it")
-		chaosSpec    = flag.String("chaos", os.Getenv("HAMMERTIME_CHAOS"), "fault injection, e.g. latency=20ms:0.5,panic:0.1,cancel:0.2 (default $HAMMERTIME_CHAOS)")
-		chaosSeed    = flag.Uint64("chaos-seed", 1, "chaos RNG seed")
-		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
-		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "localhost:8077", "HTTP listen address")
+	flag.IntVar(&o.sessions, "sessions", 2, "session pool size: max concurrent simulations")
+	flag.IntVar(&o.queue, "queue", 8, "max queued jobs; beyond this submissions are shed with 429")
+	flag.Float64Var(&o.rate, "rate", 5, "per-client submissions per second (<0 disables rate limiting)")
+	flag.IntVar(&o.burst, "burst", 10, "per-client token-bucket burst")
+	flag.DurationVar(&o.jobTimeout, "job-timeout", 0, "per-job running deadline (0 = none); requests may tighten it")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 2*time.Minute, "graceful-drain bound on SIGTERM; running jobs are cancelled after it")
+	flag.StringVar(&o.chaosSpec, "chaos", os.Getenv("HAMMERTIME_CHAOS"), "fault injection, e.g. latency=20ms:0.5,panic:0.1,cancel:0.2 (default $HAMMERTIME_CHAOS)")
+	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 1, "chaos RNG seed")
+	flag.BoolVar(&o.trustClient, "trust-client-header", false, "key rate limiting by the unauthenticated X-Hammertime-Client header; enable only behind a proxy that strips or validates it")
+	flag.BoolVar(&o.coordinator, "coordinator", false, "shard experiment grids across registered workers (see -worker)")
+	flag.StringVar(&o.workerOf, "worker", "", "run as a cell worker for the coordinator at this URL (e.g. http://host:8077)")
+	flag.StringVar(&o.workerName, "worker-name", "", "worker identity in the coordinator's registry (default hostname-pid)")
+	flag.StringVar(&o.advertise, "advertise", "", "URL the coordinator should dial this worker on (default http://<listen addr>)")
+	flag.Int64Var(&o.cacheBytes, "cache-bytes", 64<<20, "coordinator result-cache budget in bytes (in-memory LRU)")
+	flag.StringVar(&o.cacheSpill, "cache-spill", "", "JSONL file persisting cache entries across restarts (empty = memory only)")
+	flag.DurationVar(&o.dispatchTimeout, "dispatch-timeout", 2*time.Minute, "per-batch worker deadline; overrun batches are stolen and re-dispatched")
+	flag.DurationVar(&o.workerTTL, "worker-ttl", 15*time.Second, "silence after which a worker leaves the live set; heartbeats run at a third of this")
+	flag.IntVar(&o.batchCells, "batch-cells", 4, "max cells per dispatch batch")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
 	logger, err := buildLogger(*logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hammerd:", err)
 		os.Exit(1)
 	}
-	if err := run(logger, *addr, *sessions, *queue, *rate, *burst, *jobTimeout, *drainTimeout, *chaosSpec, *chaosSeed); err != nil {
+	if o.coordinator && o.workerOf != "" {
+		fmt.Fprintln(os.Stderr, "hammerd: -coordinator and -worker are mutually exclusive")
+		os.Exit(1)
+	}
+	if o.workerOf != "" {
+		err = runWorker(logger, o)
+	} else {
+		err = run(logger, o)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hammerd:", err)
 		os.Exit(1)
 	}
@@ -103,31 +172,88 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 	}
 }
 
-func run(logger *slog.Logger, addr string, sessions, queue int, rate float64, burst int, jobTimeout, drainTimeout time.Duration, chaosSpec string, chaosSeed uint64) error {
-	chaos, err := serve.ParseChaos(chaosSpec, chaosSeed)
+// buildDispatcher assembles the coordinator's cache and dispatcher from
+// the cache/cluster flags.
+func buildDispatcher(logger *slog.Logger, o options) (*cluster.Dispatcher, error) {
+	cache := cluster.NewResultCache(o.cacheBytes)
+	if o.cacheSpill != "" {
+		if err := cache.OpenSpill(o.cacheSpill); err != nil {
+			return nil, fmt.Errorf("cache-spill: %w", err)
+		}
+		logger.Info("cache spill open", "path", o.cacheSpill, "entries", cache.Len())
+	}
+	return cluster.NewDispatcher(cluster.DispatcherConfig{
+		Cache:           cache,
+		Registry:        cluster.NewRegistry(o.workerTTL),
+		DispatchTimeout: o.dispatchTimeout,
+		BatchSize:       o.batchCells,
+		Log:             logger,
+	}), nil
+}
+
+func run(logger *slog.Logger, o options) error {
+	chaos, err := serve.ParseChaos(o.chaosSpec, o.chaosSeed)
 	if err != nil {
 		return err
 	}
 	// The harness's warnings (slow cells, failed grid cells) join the
 	// daemon's structured log stream.
 	harness.SetLogger(logger)
-	mgr := serve.NewManager(serve.Config{
-		Sessions:   sessions,
-		QueueDepth: queue,
-		RatePerSec: rate,
-		Burst:      burst,
-		JobTimeout: jobTimeout,
-		Chaos:      chaos,
-		Logger:     logger,
-	})
+	cfg := serve.Config{
+		Sessions:          o.sessions,
+		QueueDepth:        o.queue,
+		RatePerSec:        o.rate,
+		Burst:             o.burst,
+		JobTimeout:        o.jobTimeout,
+		Chaos:             chaos,
+		Logger:            logger,
+		TrustClientHeader: o.trustClient,
+	}
 
-	ln, err := net.Listen("tcp", addr)
+	var disp *cluster.Dispatcher
+	if o.coordinator {
+		if disp, err = buildDispatcher(logger, o); err != nil {
+			return err
+		}
+		defer disp.Cache().Close()
+		// Each job's grids run through the dispatcher when the request is
+		// distributable; the delegate shards cells across live workers and
+		// the job falls back to local execution when none are registered.
+		cfg.Run = func(ctx context.Context, req serve.JobRequest) (string, error) {
+			opts := harness.AttackOpts{}
+			if del := disp.ForJob(req.Experiment, req.Horizon, opts); del != nil {
+				ctx = harness.WithGridDelegate(ctx, del)
+			}
+			tb, err := harness.Experiment(ctx, req.Experiment, req.Horizon, opts)
+			if err != nil {
+				return "", err
+			}
+			return tb.String(), nil
+		}
+		// Cache hit/miss/steal counters and worker gauges join /metrics.
+		cfg.ExtraMetrics = disp.MergeInto
+	}
+	mgr := serve.NewManager(cfg)
+
+	handler := serve.NewHandler(mgr)
+	if disp != nil {
+		mux := http.NewServeMux()
+		disp.Mount(mux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: serve.NewHandler(mgr)}
-	fmt.Fprintf(os.Stderr, "hammerd: listening on http://%s (sessions=%d queue=%d rate=%g/s chaos=%s)\n",
-		ln.Addr(), sessions, queue, rate, chaos)
+	srv := &http.Server{Handler: handler}
+	mode := "standalone"
+	if o.coordinator {
+		mode = "coordinator"
+	}
+	fmt.Fprintf(os.Stderr, "hammerd: listening on http://%s (%s sessions=%d queue=%d rate=%g/s chaos=%s)\n",
+		ln.Addr(), mode, o.sessions, o.queue, o.rate, chaos)
 
 	// Serve until the first SIGINT/SIGTERM, then drain: stop admitting
 	// (readyz 503, submits 503), let in-flight jobs finish bounded by
@@ -148,7 +274,7 @@ func run(logger *slog.Logger, addr string, sessions, queue int, rate float64, bu
 	}
 	fmt.Fprintln(os.Stderr, "hammerd: signal received, draining")
 
-	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	if err := mgr.Drain(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "hammerd:", err)
@@ -162,5 +288,57 @@ func run(logger *slog.Logger, addr string, sessions, queue int, rate float64, bu
 	}
 	<-errCh // Serve has returned ErrServerClosed
 	fmt.Fprintln(os.Stderr, "hammerd: drained, exiting")
+	return nil
+}
+
+// runWorker serves the stateless cell-executor surface and heartbeats
+// against the coordinator until signalled. Shutdown is bounded by
+// -drain-timeout: in-flight cell batches get that long to finish (the
+// coordinator steals them anyway if they don't).
+func runWorker(logger *slog.Logger, o options) error {
+	harness.SetLogger(logger)
+	name := o.workerName
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	advertise := o.advertise
+	if advertise == "" {
+		advertise = "http://" + ln.Addr().String()
+	}
+	node := &cluster.WorkerNode{Name: name, Log: logger}
+	srv := &http.Server{Handler: node.Handler()}
+	fmt.Fprintf(os.Stderr, "hammerd: worker %s listening on http://%s (coordinator %s, advertised as %s)\n",
+		name, ln.Addr(), o.workerOf, advertise)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go cluster.Heartbeat(sigCtx, nil, o.workerOf, name, advertise, o.workerTTL/3, logger)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("serve: %w", err)
+	case <-sigCtx.Done():
+	}
+	// Heartbeats stopped with sigCtx; the coordinator ages this worker
+	// out of the live set within -worker-ttl while we finish up.
+	fmt.Fprintln(os.Stderr, "hammerd: worker signal received, shutting down")
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	<-errCh
+	fmt.Fprintln(os.Stderr, "hammerd: worker exiting")
 	return nil
 }

@@ -19,7 +19,10 @@ import (
 // TestRunRejectsBadChaosSpec pins the flag wiring: a malformed -chaos
 // spec must fail startup, not silently disarm the middleware.
 func TestRunRejectsBadChaosSpec(t *testing.T) {
-	err := run(nil, "localhost:0", 1, 1, -1, 1, 0, time.Second, "latency=nonsense", 1)
+	err := run(nil, options{
+		addr: "localhost:0", sessions: 1, queue: 1, rate: -1, burst: 1,
+		drainTimeout: time.Second, chaosSpec: "latency=nonsense", chaosSeed: 1,
+	})
 	if err == nil || !strings.Contains(err.Error(), "chaos") {
 		t.Fatalf("bad chaos spec accepted: %v", err)
 	}

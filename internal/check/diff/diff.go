@@ -7,6 +7,11 @@
 //     harness's core guarantee (parallel.go): fanning cells out over
 //     goroutines never changes results.
 //
+//   - SerialVsDistributed does the same for the distributed harness: an
+//     experiment run through a grid delegate — cells sharded across
+//     cluster workers, cached, or stolen back from dead nodes — must
+//     render the identical table to an in-process run.
+//
 //   - DenseVsReference drives one deterministic, seeded request stream
 //     through a real controller + module pair and, via the obs event
 //     stream, through an independent naive reference model (sparse maps,
@@ -53,6 +58,35 @@ func SerialVsParallel(defenses []string, manySided int, opts harness.AttackOpts)
 	}
 	if s, p := st.String(), pt.String(); s != p {
 		return fmt.Errorf("diff: serial and parallel tables differ:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+	return nil
+}
+
+// SerialVsDistributed runs the named experiment twice — once plain and
+// in-process, once with every identified grid routed through delegate
+// (a cluster coordinator, or any other harness.GridDelegate) — and
+// returns an error unless the rendered tables are byte-identical. It
+// pins the distributed harness's core guarantee: sharding cells across
+// workers, serving them from a content-addressed cache, or stealing
+// them back from a dead worker never changes a single byte of the
+// result. Run it with a worker killed mid-run to pin the recovery path
+// too — the oracle cannot tell the difference, which is the point.
+func SerialVsDistributed(ctx context.Context, delegate harness.GridDelegate, experiment string, horizon uint64, opts harness.AttackOpts) error {
+	if delegate == nil {
+		return fmt.Errorf("diff: nil grid delegate")
+	}
+	serial := opts
+	serial.Parallelism = 1
+	st, err := harness.Experiment(ctx, experiment, horizon, serial)
+	if err != nil {
+		return fmt.Errorf("diff: serial run: %w", err)
+	}
+	dt, err := harness.Experiment(harness.WithGridDelegate(ctx, delegate), experiment, horizon, opts)
+	if err != nil {
+		return fmt.Errorf("diff: distributed run: %w", err)
+	}
+	if s, d := st.String(), dt.String(); s != d {
+		return fmt.Errorf("diff: serial and distributed tables differ:\n--- serial ---\n%s\n--- distributed ---\n%s", s, d)
 	}
 	return nil
 }

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ResultCache is the content-addressed cell store in front of dispatch:
+// an in-memory LRU bounded by result bytes, optionally backed by an
+// append-only JSONL spill file. Keys are harness.CellKey hashes, so a
+// hit is exact by construction — same grid, config, epoch, seed and
+// cell, same bytes — and Put is idempotent: re-inserting a key (a cell
+// computed twice after a steal) keeps the first entry.
+//
+// With a spill file attached, entries evicted from memory remain
+// retrievable: Get falls back to the file by recorded offset and
+// promotes the entry back into memory. The file is the same shape as a
+// harness checkpoint — one {"key","result"} object per line — and
+// survives restarts; OpenSpill indexes existing records without loading
+// them.
+type ResultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	spill    *os.File
+	spillOff int64
+	spillIdx map[string]spillLoc
+	spillErr error // sticky: first append failure, cache degrades to memory-only
+
+	hits, misses, evicted int64
+}
+
+type cacheEntry struct {
+	key string
+	val json.RawMessage
+}
+
+type spillLoc struct {
+	off int64
+	len int64
+}
+
+// spillRecord is one spill-file line.
+type spillRecord struct {
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// NewResultCache builds a memory-only cache holding at most maxBytes of
+// result JSON (0 = 64 MiB; entries are never rejected for size — a
+// single oversized entry evicts everything else and lives alone).
+func NewResultCache(maxBytes int64) *ResultCache {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &ResultCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// OpenSpill attaches (creating if needed) the JSONL spill file, indexing
+// the records it already holds. A torn final line — a killed coordinator
+// — is truncated away, mirroring harness checkpoint loading.
+func (c *ResultCache) OpenSpill(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: spill: %w", err)
+	}
+	idx := make(map[string]spillLoc)
+	r := bufio.NewReader(f)
+	var off int64
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			break // EOF fragment: debris of a killed run, trimmed below
+		}
+		var rec spillRecord
+		if json.Unmarshal([]byte(line), &rec) != nil || rec.Key == "" {
+			break
+		}
+		if _, dup := idx[rec.Key]; !dup {
+			idx[rec.Key] = spillLoc{off: off, len: int64(len(line))}
+		}
+		off += int64(len(line))
+	}
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: spill: trim torn tail: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: spill: %w", err)
+	}
+	c.mu.Lock()
+	c.spill, c.spillOff, c.spillIdx = f, off, idx
+	c.mu.Unlock()
+	return nil
+}
+
+// Get returns the cached result for key. Disk-only entries are promoted
+// back into memory.
+func (c *ResultCache) Get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	if loc, ok := c.spillIdx[key]; ok && c.spill != nil {
+		buf := make([]byte, loc.len)
+		if _, err := c.spill.ReadAt(buf, loc.off); err == nil {
+			var rec spillRecord
+			if json.Unmarshal(buf, &rec) == nil && rec.Key == key {
+				c.insert(key, rec.Result)
+				c.hits++
+				return rec.Result, true
+			}
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores a computed cell. Idempotent: a key already present (memory
+// or spill) is left untouched, so racing workers or a re-dispatched
+// steal never rewrite an entry.
+func (c *ResultCache) Put(key string, val json.RawMessage) {
+	if key == "" || val == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	if _, ok := c.spillIdx[key]; !ok && c.spill != nil && c.spillErr == nil {
+		line, err := json.Marshal(spillRecord{Key: key, Result: val})
+		if err == nil {
+			line = append(line, '\n')
+			if _, err := c.spill.Write(line); err != nil {
+				c.spillErr = fmt.Errorf("cluster: spill append: %w", err)
+			} else {
+				c.spillIdx[key] = spillLoc{off: c.spillOff, len: int64(len(line))}
+				c.spillOff += int64(len(line))
+			}
+		}
+	}
+	c.insert(key, val)
+}
+
+// insert adds the entry to the memory LRU, evicting from the back to
+// stay under budget. Caller holds c.mu.
+func (c *ResultCache) insert(key string, val json.RawMessage) {
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.bytes += int64(len(val))
+	for c.bytes > c.maxBytes && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		e := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.val))
+		c.evicted++
+	}
+}
+
+// Len returns the in-memory entry count.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the in-memory result bytes.
+func (c *ResultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Counters returns lifetime (hits, misses, evictions).
+func (c *ResultCache) Counters() (hits, misses, evicted int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evicted
+}
+
+// SpillErr returns the sticky spill-append failure, if any. The cache
+// keeps serving from memory after one; the caller decides whether a
+// lossy spill matters.
+func (c *ResultCache) SpillErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spillErr
+}
+
+// Close releases the spill file.
+func (c *ResultCache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.spill == nil {
+		return c.spillErr
+	}
+	err := c.spill.Close()
+	c.spill = nil
+	if c.spillErr != nil {
+		return c.spillErr
+	}
+	return err
+}

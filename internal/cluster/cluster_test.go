@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hammertime/internal/check/diff"
+	"hammertime/internal/harness"
+	"hammertime/internal/obs"
+	"hammertime/internal/sim"
+	"hammertime/internal/telemetry"
+	"hammertime/internal/trace"
+)
+
+// fastOpts is a small-but-real E1 configuration: 2 defenses x 4 attack
+// kinds = 8 cells, each a full simulation, sized to keep the suite
+// quick. Mirrors the diff package's differential tests.
+func fastOpts() harness.AttackOpts {
+	return harness.AttackOpts{
+		Horizon:        300_000,
+		Tenants:        2,
+		PagesPerTenant: 60,
+		Defenses:       []string{"none", "para"},
+		ManySided:      4,
+	}
+}
+
+func startWorker(t *testing.T, name string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer((&WorkerNode{Name: name}).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func newTestDispatcher(t *testing.T, workers map[string]string) *Dispatcher {
+	t.Helper()
+	reg := NewRegistry(time.Minute)
+	for name, addr := range workers {
+		reg.Register(name, addr)
+	}
+	return NewDispatcher(DispatcherConfig{
+		Registry:        reg,
+		DispatchTimeout: time.Minute,
+		BatchSize:       2,
+	})
+}
+
+func counter(d *Dispatcher, name string) int64 {
+	var st sim.Stats
+	d.MergeInto(&st)
+	return st.Counter(name)
+}
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations; skipped in -short")
+	}
+	w1 := startWorker(t, "w1")
+	w2 := startWorker(t, "w2")
+	d := newTestDispatcher(t, map[string]string{"w1": w1.URL, "w2": w2.URL})
+	opts := fastOpts()
+	del := d.ForJob("e1", opts.Horizon, opts)
+	if del == nil {
+		t.Fatal("e1 should be distributable")
+	}
+	if err := diff.SerialVsDistributed(context.Background(), del, "e1", opts.Horizon, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(d, "cluster.cells.dispatched"); got != 8 {
+		t.Fatalf("dispatched %d cells, want 8", got)
+	}
+	if got := counter(d, "cluster.cells.local"); got != 0 {
+		t.Fatalf("computed %d cells locally with a live fleet", got)
+	}
+}
+
+func TestWorkerDeathStealsCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations; skipped in -short")
+	}
+	healthy := startWorker(t, "healthy")
+	// The doomed worker dies on first contact — its connection is torn
+	// down mid-request, the SIGKILL shape — and never comes back.
+	var killed atomic.Bool
+	doomed := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		killed.Store(true)
+		hj, ok := rw.(http.Hijacker)
+		if !ok {
+			t.Error("no hijacker")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	t.Cleanup(doomed.Close)
+
+	d := newTestDispatcher(t, map[string]string{"healthy": healthy.URL, "doomed": doomed.URL})
+	opts := fastOpts()
+	del := d.ForJob("e1", opts.Horizon, opts)
+	if err := diff.SerialVsDistributed(context.Background(), del, "e1", opts.Horizon, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !killed.Load() {
+		t.Fatal("doomed worker was never dispatched to")
+	}
+	if got := counter(d, "cluster.cells.stolen"); got == 0 {
+		t.Fatal("no cells stolen despite a dead worker")
+	}
+	if got := counter(d, "cluster.worker.failures"); got == 0 {
+		t.Fatal("worker failure not counted")
+	}
+	// The dead worker must be failure-marked out of the live set.
+	for _, w := range d.Registry().Live() {
+		if w.Name == "doomed" {
+			t.Fatal("dead worker still in live set")
+		}
+	}
+}
+
+func TestDuplicateRunServedFromCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations; skipped in -short")
+	}
+	w1 := startWorker(t, "w1")
+	d := newTestDispatcher(t, map[string]string{"w1": w1.URL})
+	opts := fastOpts()
+
+	run := func() string {
+		ctx := harness.WithGridDelegate(context.Background(), d.ForJob("e1", opts.Horizon, opts))
+		tb, err := harness.Experiment(ctx, "e1", opts.Horizon, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.String()
+	}
+	first := run()
+	dispatchedAfterFirst := counter(d, "cluster.cells.dispatched")
+	second := run()
+	if first != second {
+		t.Fatalf("cache-served run differs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if got := counter(d, "cluster.cells.dispatched"); got != dispatchedAfterFirst {
+		t.Fatalf("duplicate run re-dispatched cells: %d -> %d", dispatchedAfterFirst, got)
+	}
+	hits, _, _ := d.Cache().Counters()
+	if hits < 8 {
+		t.Fatalf("cache hits %d, want >= 8 (every cell of the duplicate)", hits)
+	}
+}
+
+func TestLocalFallbackWithoutWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations; skipped in -short")
+	}
+	d := newTestDispatcher(t, nil)
+	opts := fastOpts()
+	del := d.ForJob("e1", opts.Horizon, opts)
+	if err := diff.SerialVsDistributed(context.Background(), del, "e1", opts.Horizon, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter(d, "cluster.cells.local"); got != 8 {
+		t.Fatalf("local cells %d, want 8", got)
+	}
+}
+
+func TestForJobRejectsNonDistributable(t *testing.T) {
+	d := newTestDispatcher(t, nil)
+	if del := d.ForJob("nope", 0, fastOpts()); del != nil {
+		t.Fatal("unknown experiment got a delegate")
+	}
+	replay := fastOpts()
+	replay.ReplayAttack = []trace.Event{{}}
+	if del := d.ForJob("e1", 0, replay); del != nil {
+		t.Fatal("replayed-trace job got a delegate; replay state cannot cross nodes")
+	}
+	observed := fastOpts()
+	observed.Observer = obs.NewRecorder()
+	if del := d.ForJob("e1", 0, observed); del != nil {
+		t.Fatal("observer-attached job got a delegate")
+	}
+}
+
+func TestRegistryTTLAndFailure(t *testing.T) {
+	reg := NewRegistry(10 * time.Second)
+	now := time.Unix(1000, 0)
+	reg.now = func() time.Time { return now }
+
+	reg.Register("a", "http://a")
+	reg.Register("b", "http://b")
+	if got := len(reg.Live()); got != 2 {
+		t.Fatalf("live %d, want 2", got)
+	}
+
+	// b goes silent past the TTL.
+	now = now.Add(11 * time.Second)
+	reg.Register("a", "http://a")
+	live := reg.Live()
+	if len(live) != 1 || live[0].Name != "a" {
+		t.Fatalf("live %v, want just a", live)
+	}
+
+	// A failure mark removes a worker instantly; a heartbeat restores it.
+	reg.Fail("a")
+	if len(reg.Live()) != 0 {
+		t.Fatal("failed worker still live")
+	}
+	reg.Register("a", "http://a")
+	if len(reg.Live()) != 1 {
+		t.Fatal("heartbeat did not clear the failure mark")
+	}
+
+	views := reg.Views()
+	if len(views) != 2 {
+		t.Fatalf("views %d, want 2 (dead workers still listed)", len(views))
+	}
+	if views[1].Name != "b" || views[1].Live {
+		t.Fatalf("stale worker reported live: %+v", views[1])
+	}
+}
+
+func TestWorkerRejectsSkew(t *testing.T) {
+	w := &WorkerNode{Name: "w"}
+	// Epoch skew: a version-mismatched coordinator.
+	_, err := w.RunCells(context.Background(), CellRequest{
+		Experiment: "e1", Grid: "g", Cells: []int{0}, Epoch: sim.DeterminismEpoch + 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "epoch skew") {
+		t.Fatalf("epoch skew accepted: %v", err)
+	}
+	// Unknown experiment.
+	if _, err := w.RunCells(context.Background(), CellRequest{Experiment: "bogus", Grid: "g", Cells: []int{0}}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	// Empty cell list.
+	if _, err := w.RunCells(context.Background(), CellRequest{Experiment: "e1", Grid: "g"}); err == nil {
+		t.Fatal("empty request accepted")
+	}
+}
+
+func TestWorkerConfigSkewRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation; skipped in -short")
+	}
+	w := &WorkerNode{Name: "w"}
+	opts := fastOpts()
+	req := CellRequest{
+		Experiment: "e1",
+		Horizon:    opts.Horizon,
+		Opts:       OptsFrom(opts),
+		Grid:       "e1",
+		Config:     "horizon=999;something-else", // coordinator disagrees
+		Cells:      []int{0},
+		Epoch:      sim.DeterminismEpoch,
+	}
+	if _, err := w.RunCells(context.Background(), req); err == nil || !strings.Contains(err.Error(), "config skew") {
+		t.Fatalf("config skew accepted: %v", err)
+	}
+}
+
+func TestDispatchImportsWorkerSpans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulations; skipped in -short")
+	}
+	w1 := startWorker(t, "w1")
+	d := newTestDispatcher(t, map[string]string{"w1": w1.URL})
+	opts := fastOpts()
+	tr := telemetry.NewTracer()
+	ctx := telemetry.NewContext(context.Background(), &telemetry.Scope{Tracer: tr})
+	ctx = harness.WithGridDelegate(ctx, d.ForJob("e1", opts.Horizon, opts))
+	if _, err := harness.Experiment(ctx, "e1", opts.Horizon, opts); err != nil {
+		t.Fatal(err)
+	}
+	var dispatches, workerGrids int
+	for _, s := range tr.Snapshot() {
+		if strings.HasPrefix(s.Name, "dispatch:") {
+			dispatches++
+		}
+		if strings.HasPrefix(s.Name, "cell:") || s.Name == "machine.run" {
+			workerGrids++
+		}
+	}
+	if dispatches == 0 {
+		t.Fatal("no dispatch spans recorded")
+	}
+	if workerGrids == 0 {
+		t.Fatal("worker-side spans not imported into the job trace")
+	}
+}

@@ -1,0 +1,404 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"hammertime/internal/harness"
+	"hammertime/internal/sim"
+	"hammertime/internal/telemetry"
+)
+
+// DispatcherConfig parametrizes a Dispatcher. The zero value works:
+// memory-only cache, 15s worker TTL, 2m per-batch deadline.
+type DispatcherConfig struct {
+	// Cache fronts dispatch (nil = a fresh 64 MiB memory-only cache).
+	Cache *ResultCache
+	// Registry tracks the worker fleet (nil = a fresh 15s-TTL registry).
+	Registry *Registry
+	// Client performs worker RPCs (nil = http.DefaultClient).
+	Client *http.Client
+	// DispatchTimeout bounds one batch RPC; a batch that misses it is
+	// stolen back and re-dispatched (0 = 2m).
+	DispatchTimeout time.Duration
+	// BatchSize caps the cells per RPC (0 = 4). Smaller batches steal
+	// back less work when a worker dies mid-run.
+	BatchSize int
+	// MaxRounds bounds the dispatch-steal-redispatch loop (0 = 8); the
+	// local fallback makes the final round when workers keep dying.
+	MaxRounds int
+	// Log receives dispatch logs (nil = silent).
+	Log *slog.Logger
+}
+
+// Dispatcher is the coordinator's long-lived half: the result cache, the
+// worker registry, and the counters. Per-job delegates from ForJob share
+// them, so a cell computed for one job serves every later job that needs
+// the same key.
+type Dispatcher struct {
+	cache  *ResultCache
+	reg    *Registry
+	client *http.Client
+	cfg    DispatcherConfig
+	log    *slog.Logger
+
+	statsMu sync.Mutex
+	stats   sim.Stats
+}
+
+// NewDispatcher builds a dispatcher, filling config defaults.
+func NewDispatcher(cfg DispatcherConfig) *Dispatcher {
+	d := &Dispatcher{cache: cfg.Cache, reg: cfg.Registry, client: cfg.Client, cfg: cfg}
+	if d.cache == nil {
+		d.cache = NewResultCache(0)
+	}
+	if d.reg == nil {
+		d.reg = NewRegistry(0)
+	}
+	if d.client == nil {
+		d.client = http.DefaultClient
+	}
+	if d.cfg.DispatchTimeout <= 0 {
+		d.cfg.DispatchTimeout = 2 * time.Minute
+	}
+	if d.cfg.BatchSize <= 0 {
+		d.cfg.BatchSize = 4
+	}
+	if d.cfg.MaxRounds <= 0 {
+		d.cfg.MaxRounds = 8
+	}
+	d.log = telemetry.OrNop(cfg.Log)
+	return d
+}
+
+// Registry returns the worker registry (for HTTP registration wiring).
+func (d *Dispatcher) Registry() *Registry { return d.reg }
+
+// Cache returns the result cache.
+func (d *Dispatcher) Cache() *ResultCache { return d.cache }
+
+func (d *Dispatcher) count(name string, delta int64) {
+	d.statsMu.Lock()
+	d.stats.Add(name, delta)
+	d.statsMu.Unlock()
+}
+
+// MergeInto folds the dispatcher's counters and point-in-time gauges
+// into dst — the serve layer's ExtraMetrics hook, so cluster state rides
+// the same /metrics exposition as the job counters. dst must be a fresh
+// scratch Stats (the serve layer rebuilds one per snapshot): lifetime
+// cache counters are added whole, not as deltas.
+func (d *Dispatcher) MergeInto(dst *sim.Stats) {
+	d.statsMu.Lock()
+	dst.Merge(&d.stats)
+	d.statsMu.Unlock()
+	hits, misses, evicted := d.cache.Counters()
+	dst.Add("cluster.cache.hits", hits)
+	dst.Add("cluster.cache.misses", misses)
+	dst.Add("cluster.cache.evicted", evicted)
+	dst.SetGauge("cluster.cache.bytes", float64(d.cache.Bytes()))
+	dst.SetGauge("cluster.cache.entries", float64(d.cache.Len()))
+	dst.SetGauge("cluster.workers.live", float64(len(d.reg.Live())))
+}
+
+// Mount registers the coordinator's cluster endpoints on mux:
+//
+//	POST /v1/cluster/register — worker registration/heartbeat
+//	GET  /v1/cluster/workers  — fleet listing
+func (d *Dispatcher) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/cluster/register", func(rw http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Name == "" || req.Addr == "" {
+			writeJSON(rw, http.StatusBadRequest, errorBody{Error: "register needs {name, addr}"})
+			return
+		}
+		d.reg.Register(req.Name, req.Addr)
+		d.count("cluster.heartbeats", 1)
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "registered"})
+	})
+	mux.HandleFunc("GET /v1/cluster/workers", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, d.reg.Views())
+	})
+}
+
+// ForJob returns the grid delegate for one job, or nil when the job
+// cannot be distributed (unknown experiment, replayed trace, attached
+// observer) — a nil delegate means "run it locally like before".
+func (d *Dispatcher) ForJob(experiment string, horizon uint64, opts harness.AttackOpts) harness.GridDelegate {
+	if !harness.ValidExperiment(experiment) || !Distributable(opts) {
+		return nil
+	}
+	return &jobDelegate{d: d, experiment: experiment, horizon: horizon, opts: OptsFrom(opts)}
+}
+
+// jobDelegate distributes one job's grids. It implements
+// harness.GridDelegate: runGrid hands it (spec, n) and restores whatever
+// JSON it returns.
+type jobDelegate struct {
+	d          *Dispatcher
+	experiment string
+	horizon    uint64
+	opts       Opts
+}
+
+// batchOutcome is one dispatched batch's result, fed back to the round
+// loop: either resp is set, or err and the cells to steal back.
+type batchOutcome struct {
+	worker Worker
+	cells  []int
+	resp   *CellResponse
+	err    error
+}
+
+// RunGrid computes every cell of the grid: cache first, then rounds of
+// partitioned dispatch across live workers with failed batches stolen
+// back and re-dispatched, falling back to in-process execution when no
+// workers are live. Strict: either all n cells merge, or an error.
+func (j *jobDelegate) RunGrid(ctx context.Context, spec harness.GridSpec, n int) (map[int]json.RawMessage, error) {
+	d := j.d
+	results := make(map[int]json.RawMessage, n)
+	keys := make([]string, n)
+	var pending []int
+	for i := 0; i < n; i++ {
+		keys[i] = harness.CellKey(spec, i)
+		if raw, ok := d.cache.Get(keys[i]); ok {
+			results[i] = raw
+			continue
+		}
+		pending = append(pending, i)
+	}
+	if len(pending) < n {
+		d.log.Info("cells served from cache", "grid", spec.ID, "hits", n-len(pending), "total", n)
+	}
+
+	for round := 0; len(pending) > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if round >= d.cfg.MaxRounds {
+			return nil, fmt.Errorf("cluster: %d cells still pending after %d dispatch rounds", len(pending), round)
+		}
+		live := d.reg.Live()
+		if len(live) == 0 {
+			// No fleet (or the whole fleet died): the coordinator is
+			// always its own worker of last resort.
+			d.log.Warn("no live workers, computing locally", "grid", spec.ID, "cells", len(pending))
+			if err := j.runLocal(ctx, spec, pending, keys, results); err != nil {
+				return nil, err
+			}
+			pending = nil
+			break
+		}
+
+		batches := partition(pending, len(live), d.cfg.BatchSize)
+		outcomes := make(chan batchOutcome, len(batches))
+		var wg sync.WaitGroup
+		for bi, cells := range batches {
+			w := live[bi%len(live)]
+			wg.Add(1)
+			go func(w Worker, cells []int) {
+				defer wg.Done()
+				resp, err := j.dispatch(ctx, w, spec, cells)
+				outcomes <- batchOutcome{worker: w, cells: cells, resp: resp, err: err}
+			}(w, cells)
+		}
+		wg.Wait()
+		close(outcomes)
+
+		var requeue []int
+		for out := range outcomes {
+			if out.err != nil {
+				// Steal the batch back: the worker is marked dead until
+				// its next heartbeat and the cells go into the next
+				// round, to another worker or the local fallback.
+				d.reg.Fail(out.worker.Name)
+				d.count("cluster.worker.failures", 1)
+				d.count("cluster.cells.stolen", int64(len(out.cells)))
+				d.log.Warn("batch failed, stealing cells back",
+					"grid", spec.ID, "worker", out.worker.Name, "cells", len(out.cells), "err", out.err)
+				requeue = append(requeue, out.cells...)
+				continue
+			}
+			if err := j.merge(spec, keys, out, results); err != nil {
+				// A verification failure (key/config skew) is not
+				// retryable on this worker — but another worker or the
+				// local fallback may still be healthy.
+				d.reg.Fail(out.worker.Name)
+				d.count("cluster.worker.failures", 1)
+				d.count("cluster.cells.stolen", int64(len(out.cells)))
+				d.log.Warn("batch rejected, stealing cells back",
+					"grid", spec.ID, "worker", out.worker.Name, "err", err)
+				requeue = append(requeue, out.cells...)
+				continue
+			}
+			d.count("cluster.cells.dispatched", int64(len(out.cells)))
+		}
+		pending = requeue
+	}
+
+	for i := 0; i < n; i++ {
+		if _, ok := results[i]; !ok {
+			return nil, fmt.Errorf("cluster: cell %d of %q never computed", i, spec.ID)
+		}
+	}
+	return results, nil
+}
+
+// dispatch sends one batch to one worker under the per-batch deadline,
+// grafting the worker's spans into the job's trace on success.
+func (j *jobDelegate) dispatch(ctx context.Context, w Worker, spec harness.GridSpec, cells []int) (*CellResponse, error) {
+	d := j.d
+	dctx, cancel := context.WithTimeout(ctx, d.cfg.DispatchTimeout)
+	defer cancel()
+	dctx, span := telemetry.StartSpan(dctx, "dispatch:"+w.Name)
+	span.SetAttrs(
+		telemetry.String("worker", w.Name),
+		telemetry.Int("cells", int64(len(cells))),
+	)
+	req := CellRequest{
+		Experiment: j.experiment,
+		Horizon:    j.horizon,
+		Opts:       j.opts,
+		Grid:       spec.ID,
+		Config:     spec.Config,
+		Cells:      cells,
+		Epoch:      sim.DeterminismEpoch,
+	}
+	if sc := telemetry.ScopeFrom(dctx); sc != nil && sc.Tracer != nil {
+		req.TraceID = sc.Tracer.ID().String()
+	}
+	resp, err := j.call(dctx, w.Addr, req)
+	if err != nil {
+		span.EndErr(err)
+		return nil, err
+	}
+	if sc := telemetry.ScopeFrom(dctx); sc != nil && sc.Tracer != nil {
+		sc.Tracer.ImportRemote(span.ID(), resp.Spans)
+	}
+	span.End()
+	return resp, nil
+}
+
+// call performs the HTTP RPC.
+func (j *jobDelegate) call(ctx context.Context, addr string, req CellRequest) (*CellResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/cells", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := j.d.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		var eb errorBody
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 4096))
+		if json.Unmarshal(msg, &eb) == nil && eb.Error != "" {
+			return nil, fmt.Errorf("cluster: worker: %s", eb.Error)
+		}
+		return nil, fmt.Errorf("cluster: worker status %d: %s", hresp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var resp CellResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: worker response: %w", err)
+	}
+	return &resp, nil
+}
+
+// merge verifies one batch response — every requested cell present, each
+// echoed key matching the coordinator's content address, config string
+// identical — and folds the cells into results and the cache. A key
+// mismatch means the nodes disagree about what the cell even is
+// (epoch/seed/config drift) and the batch is rejected whole.
+func (j *jobDelegate) merge(spec harness.GridSpec, keys []string, out batchOutcome, results map[int]json.RawMessage) error {
+	if out.resp.Config != "" && out.resp.Config != spec.Config {
+		return fmt.Errorf("config skew: coordinator %q, worker %q", spec.Config, out.resp.Config)
+	}
+	got := make(map[int]CellResult, len(out.resp.Cells))
+	for _, c := range out.resp.Cells {
+		got[c.Index] = c
+	}
+	for _, i := range out.cells {
+		c, ok := got[i]
+		if !ok {
+			return fmt.Errorf("cell %d missing from response", i)
+		}
+		if c.Key != keys[i] {
+			return fmt.Errorf("cell %d key mismatch: want %s, got %s (epoch/seed/config skew)", i, keys[i], c.Key)
+		}
+		if len(c.Result) == 0 {
+			return fmt.Errorf("cell %d has empty result", i)
+		}
+	}
+	for _, i := range out.cells {
+		results[i] = got[i].Result
+		j.d.cache.Put(keys[i], got[i].Result)
+	}
+	return nil
+}
+
+// runLocal computes cells in-process through the same capture mechanism
+// a worker uses — identical code path, identical bytes — with the
+// delegate shadowed so the run cannot recurse into dispatch.
+func (j *jobDelegate) runLocal(ctx context.Context, spec harness.GridSpec, cells []int, keys []string, results map[int]json.RawMessage) error {
+	capture := harness.NewCellCapture(spec.ID, cells)
+	lctx := harness.WithCellCapture(harness.WithoutGridDelegate(ctx), capture)
+	_, runErr := harness.Experiment(lctx, j.experiment, j.horizon, j.opts.Attack())
+	if err := capture.Err(); err != nil {
+		return err
+	}
+	got := capture.Results()
+	for _, i := range cells {
+		c, ok := got[i]
+		if !ok {
+			if runErr != nil {
+				return fmt.Errorf("cluster: local cell %d: %w", i, runErr)
+			}
+			return fmt.Errorf("cluster: local cell %d never computed", i)
+		}
+		if c.Key != keys[i] {
+			return fmt.Errorf("cluster: local cell %d key mismatch: want %s, got %s", i, keys[i], c.Key)
+		}
+		results[i] = c.Result
+		j.d.cache.Put(keys[i], c.Result)
+	}
+	j.d.count("cluster.cells.local", int64(len(cells)))
+	return nil
+}
+
+// partition splits cells into batches of at most batchSize, sized so one
+// round spreads the work across all workers: ceil(len/workers) capped at
+// batchSize.
+func partition(cells []int, workers, batchSize int) [][]int {
+	if len(cells) == 0 {
+		return nil
+	}
+	size := (len(cells) + workers - 1) / workers
+	if size > batchSize {
+		size = batchSize
+	}
+	if size < 1 {
+		size = 1
+	}
+	var out [][]int
+	for start := 0; start < len(cells); start += size {
+		end := start + size
+		if end > len(cells) {
+			end = len(cells)
+		}
+		out = append(out, cells[start:end])
+	}
+	return out
+}

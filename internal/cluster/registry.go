@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry tracks the worker fleet by heartbeat. Workers self-register
+// (POST /v1/cluster/register) and re-register on an interval; an entry
+// whose heartbeat is older than the TTL is treated as dead and skipped
+// by dispatch. A dispatch failure marks the worker failed immediately —
+// its cells are stolen back without waiting out the TTL — and the next
+// heartbeat clears the mark, so a worker that merely hiccuped rejoins on
+// its own.
+type Registry struct {
+	ttl time.Duration
+	now func() time.Time // test hook
+
+	mu      sync.Mutex
+	workers map[string]*regEntry
+}
+
+type regEntry struct {
+	addr     string
+	lastSeen time.Time
+	failed   bool
+}
+
+// Worker is one live registry entry as dispatch sees it.
+type Worker struct {
+	Name string
+	Addr string
+}
+
+// NewRegistry builds a registry with the given heartbeat TTL (0 = 15s).
+func NewRegistry(ttl time.Duration) *Registry {
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	return &Registry{ttl: ttl, now: time.Now, workers: make(map[string]*regEntry)}
+}
+
+// Register adds or refreshes a worker and clears any failure mark: the
+// heartbeat doubles as the worker's claim that it is serving again.
+func (r *Registry) Register(name, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.workers[name]
+	if e == nil {
+		e = &regEntry{}
+		r.workers[name] = e
+	}
+	e.addr = addr
+	e.lastSeen = r.now()
+	e.failed = false
+}
+
+// Fail marks a worker dead until its next heartbeat. Dispatch calls it
+// on any RPC failure so the rest of the round skips the worker.
+func (r *Registry) Fail(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.workers[name]; ok {
+		e.failed = true
+	}
+}
+
+// Live returns the dispatchable workers — heartbeat within TTL and not
+// failure-marked — sorted by name so round partitioning is stable.
+func (r *Registry) Live() []Worker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cutoff := r.now().Add(-r.ttl)
+	out := make([]Worker, 0, len(r.workers))
+	for name, e := range r.workers {
+		if !e.failed && !e.lastSeen.Before(cutoff) {
+			out = append(out, Worker{Name: name, Addr: e.addr})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Views returns every registry entry (live or not) for the coordinator's
+// /v1/cluster/workers listing, sorted by name.
+func (r *Registry) Views() []WorkerView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cutoff := r.now().Add(-r.ttl)
+	out := make([]WorkerView, 0, len(r.workers))
+	for name, e := range r.workers {
+		out = append(out, WorkerView{
+			Name:     name,
+			Addr:     e.addr,
+			LastSeen: e.lastSeen,
+			Live:     !e.failed && !e.lastSeen.Before(cutoff),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"time"
+
+	"hammertime/internal/harness"
+	"hammertime/internal/sim"
+	"hammertime/internal/telemetry"
+)
+
+// WorkerNode executes assigned cells: it rebuilds the requested grid
+// from the wire options under a CellCapture narrowed to the assigned
+// indices, so only those cells are simulated, and returns each result as
+// the exact JSON the coordinator will merge. A worker keeps no job
+// state — every request is self-contained, which is what makes killing
+// a worker mid-run recoverable by re-dispatching elsewhere.
+type WorkerNode struct {
+	// Name identifies the worker in responses and registry entries.
+	Name string
+	// Log receives per-request structured logs (nil = silent).
+	Log *slog.Logger
+}
+
+// RunCells computes one CellRequest. The experiment may fail outside the
+// target grid without failing the request — the capture's completeness
+// is the contract, not the experiment's own result (whose table the
+// worker discards anyway).
+func (w *WorkerNode) RunCells(ctx context.Context, req CellRequest) (CellResponse, error) {
+	resp := CellResponse{Worker: w.Name}
+	if !harness.ValidExperiment(req.Experiment) {
+		return resp, fmt.Errorf("cluster: unknown experiment %q", req.Experiment)
+	}
+	if req.Grid == "" || len(req.Cells) == 0 {
+		return resp, fmt.Errorf("cluster: empty grid or cell list")
+	}
+	if req.Epoch != 0 && req.Epoch != sim.DeterminismEpoch {
+		return resp, fmt.Errorf("cluster: determinism epoch skew: coordinator %d, worker %d — upgrade the older node",
+			req.Epoch, sim.DeterminismEpoch)
+	}
+
+	// The worker's spans ride back in the response; the tracer reuses the
+	// job's trace id so worker-local exports correlate, and the
+	// coordinator remaps span ids when grafting them into its own tracer.
+	tracer := telemetry.NewTracer()
+	if id, ok := telemetry.ParseTraceID(req.TraceID); ok {
+		tracer = telemetry.NewTracerWithID(id)
+	}
+	ctx = telemetry.NewContext(ctx, &telemetry.Scope{Tracer: tracer})
+
+	capture := harness.NewCellCapture(req.Grid, req.Cells)
+	ctx = harness.WithCellCapture(ctx, capture)
+	start := time.Now()
+	_, runErr := harness.Experiment(ctx, req.Experiment, req.Horizon, req.Opts.Attack())
+	if err := capture.Err(); err != nil {
+		return resp, err
+	}
+	if !capture.Reached() {
+		if runErr != nil {
+			return resp, fmt.Errorf("cluster: grid %q never ran: %w", req.Grid, runErr)
+		}
+		return resp, fmt.Errorf("cluster: experiment %q has no grid %q", req.Experiment, req.Grid)
+	}
+	if cfg := capture.Config(); req.Config != "" && cfg != req.Config {
+		return resp, fmt.Errorf("cluster: grid config skew on %q: coordinator %q, worker %q — option or version drift",
+			req.Grid, req.Config, cfg)
+	}
+	results := capture.Results()
+	for _, i := range req.Cells {
+		cell, ok := results[i]
+		if !ok {
+			if runErr != nil {
+				return resp, fmt.Errorf("cluster: cell %d incomplete: %w", i, runErr)
+			}
+			return resp, fmt.Errorf("cluster: cell %d out of range for grid %q", i, req.Grid)
+		}
+		resp.Cells = append(resp.Cells, CellResult{Index: i, Key: cell.Key, Result: cell.Result})
+	}
+	sort.Slice(resp.Cells, func(a, b int) bool { return resp.Cells[a].Index < resp.Cells[b].Index })
+	resp.Config = capture.Config()
+	resp.Spans = tracer.Snapshot()
+	telemetry.OrNop(w.Log).Info("cells computed",
+		"grid", req.Grid, "cells", len(resp.Cells), "elapsed", time.Since(start))
+	return resp, nil
+}
+
+// Handler returns the worker's HTTP surface:
+//
+//	POST /v1/cells   — compute a CellRequest
+//	GET  /healthz    — liveness
+func (w *WorkerNode) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cells", func(rw http.ResponseWriter, r *http.Request) {
+		var req CellRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(rw, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
+			return
+		}
+		resp, err := w.RunCells(r.Context(), req)
+		if err != nil {
+			telemetry.OrNop(w.Log).Warn("cell request failed", "grid", req.Grid, "err", err)
+			writeJSON(rw, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(rw, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+		fmt.Fprintln(rw, "ok")
+	})
+	return mux
+}
+
+// Heartbeat registers the worker with the coordinator now and then every
+// interval until ctx ends. Registration doubles as the liveness beacon;
+// failures are logged and retried on the next tick — a coordinator
+// restart just loses one beat.
+func Heartbeat(ctx context.Context, client *http.Client, coordinator, name, selfAddr string, every time.Duration, log *slog.Logger) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	log = telemetry.OrNop(log)
+	beat := func() {
+		body, _ := json.Marshal(RegisterRequest{Name: name, Addr: selfAddr})
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			coordinator+"/v1/cluster/register", bytes.NewReader(body))
+		if err != nil {
+			log.Warn("heartbeat request", "err", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			log.Warn("heartbeat failed", "coordinator", coordinator, "err", err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			log.Warn("heartbeat rejected", "coordinator", coordinator, "status", resp.StatusCode)
+		}
+	}
+	beat()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			beat()
+		}
+	}
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	json.NewEncoder(rw).Encode(v)
+}

@@ -181,10 +181,20 @@ func SetCheckpoint(ck *Checkpoint) {
 
 func activeCheckpoint() *Checkpoint { return activeCk.Load() }
 
-// cellKey hashes everything that determines a cell's result. The machine
-// seed enters via core.DefaultSpec (experiments build their machines from
-// it); grids that vary the seed must fold it into Config.
-func cellKey(spec GridSpec, cell int) string {
+// CellKey hashes everything that determines a cell's result — the FNV-64a
+// of (grid ID, grid config, DeterminismEpoch, machine seed, cell index),
+// rendered as 16 lowercase hex digits. The machine seed enters via
+// core.DefaultSpec (experiments build their machines from it); grids that
+// vary the seed must fold it into Config.
+//
+// The key is a public contract: besides checkpoint resume it is the
+// shard and content-address of the distributed cluster (internal/cluster)
+// — the coordinator partitions cells by it, the result cache stores
+// under it, and workers echo it back so a config/epoch/seed skew between
+// nodes is detected instead of silently merging mismatched results.
+// TestCellKeyGolden pins the exact hash; changing the format or any
+// input invalidates every checkpoint and cache on disk.
+func CellKey(spec GridSpec, cell int) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%s|epoch=%d|seed=%d|cell=%d",
 		spec.ID, spec.Config, sim.DeterminismEpoch, core.DefaultSpec().Seed, cell)

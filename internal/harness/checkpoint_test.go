@@ -1,8 +1,8 @@
 package harness
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"sync/atomic"

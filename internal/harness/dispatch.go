@@ -21,7 +21,11 @@ import (
 var experimentRunners = map[string]func(ctx context.Context, horizon uint64, opts AttackOpts) (*report.Table, error){
 	"e1": func(ctx context.Context, horizon uint64, opts AttackOpts) (*report.Table, error) {
 		opts.Horizon = horizon
-		return E1Matrix(ctx, nil, 12, opts)
+		sided := opts.ManySided
+		if sided == 0 {
+			sided = 12
+		}
+		return E1Matrix(ctx, opts.Defenses, sided, opts)
 	},
 	"e2": func(ctx context.Context, horizon uint64, _ AttackOpts) (*report.Table, error) {
 		tb, _, err := E2Interleaving(ctx, horizon)

@@ -297,12 +297,33 @@ func runGrid[T any](ctx context.Context, spec GridSpec, n int, fn func(ctx conte
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if del := gridDelegateFrom(ctx); del != nil && spec.ID != "" {
+		// Coordinator path: the delegate computes the grid (cache +
+		// workers) and every cell restores from its JSON.
+		return runGridDelegated[T](ctx, spec, n, del)
+	}
 	pol := GridPolicy()
 	run := &GridRun[T]{
 		spec:     spec,
 		Results:  make([]T, n),
 		strict:   !pol.FailSoft,
 		failures: make(map[int]*CellError),
+	}
+	// Worker path: a capture narrows the run to its assigned cells of
+	// its target grid; other grids of the same experiment are skipped
+	// entirely (their tables are discarded by the worker anyway).
+	capture := cellCaptureFrom(ctx)
+	if capture != nil && capture.grid != spec.ID {
+		return run
+	}
+	order := make([]int, 0, n)
+	if capture != nil {
+		capture.arm(spec.Config)
+		order = append(order, capture.indices(n)...)
+	} else {
+		for i := 0; i < n; i++ {
+			order = append(order, i)
+		}
 	}
 	ck := activeCheckpoint()
 	if spec.ID == "" {
@@ -324,7 +345,7 @@ func runGrid[T any](ctx context.Context, spec GridSpec, n int, fn func(ctx conte
 	cell := func(i int) *CellError {
 		var key string
 		if ck != nil {
-			key = cellKey(spec, i)
+			key = CellKey(spec, i)
 			if raw, ok := ck.lookup(key); ok {
 				if jerr := json.Unmarshal(raw, &run.Results[i]); jerr == nil {
 					restored.Add(1)
@@ -358,6 +379,9 @@ func runGrid[T any](ctx context.Context, spec GridSpec, n int, fn func(ctx conte
 		if ce == nil && ck != nil {
 			ck.record(spec.ID, i, key, run.Results[i])
 		}
+		if ce == nil && capture != nil {
+			capture.record(spec, i, run.Results[i])
+		}
 		prog.cellDone(i, wall, attempts, false, errMsg)
 		return ce
 	}
@@ -377,11 +401,11 @@ func runGrid[T any](ctx context.Context, spec GridSpec, n int, fn func(ctx conte
 	}
 
 	workers := resolveWorkers(spec.Workers)
-	if workers > n {
-		workers = n
+	if workers > len(order) {
+		workers = len(order)
 	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
+		for _, i := range order {
 			if ctx.Err() != nil {
 				noteCancel()
 				break
@@ -416,10 +440,11 @@ func runGrid[T any](ctx context.Context, spec GridSpec, n int, fn func(ctx conte
 					noteCancel()
 					return
 				}
-				i := int(next.Add(1))
-				if i >= n || stop.Load() {
+				idx := int(next.Add(1))
+				if idx >= len(order) || stop.Load() {
 					return
 				}
+				i := order[idx]
 				if ce := cell(i); ce != nil {
 					if ce.Cancelled {
 						noteCancel()

@@ -82,6 +82,14 @@ type AttackOpts struct {
 	// default (SetParallelism / GOMAXPROCS), 1 forces serial. Parallel
 	// and serial runs produce byte-identical tables.
 	Parallelism int
+	// Defenses narrows the defense lineup of the experiments that take
+	// one (E1 via the dispatcher): nil means the full E1Defenses lineup.
+	// Part of the wire protocol of the distributed cluster — a worker
+	// rebuilds the exact grid from (experiment, horizon, opts), so only
+	// serializable, result-determining fields may shape a grid.
+	Defenses []string
+	// ManySided is the N of E1's many-sided attack column (0 means 12).
+	ManySided int
 	// Observer, when non-nil, is attached to each machine before the run
 	// and receives the full simulator event stream (ACTs, refreshes,
 	// defense triggers, flips — see internal/obs). Observer-only:

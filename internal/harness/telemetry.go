@@ -69,9 +69,9 @@ func gridName(id string) string {
 // gridProgress tracks one running grid's completion counters and
 // publishes progress records to the run's hub after every cell.
 type gridProgress struct {
-	hub    *telemetry.Hub
-	grid   string
-	total  int
+	hub      *telemetry.Hub
+	grid     string
+	total    int
 	start    time.Time
 	done     atomic.Int64
 	failed   atomic.Int64

@@ -26,14 +26,21 @@ type bucket struct {
 	last   time.Time
 }
 
-// limiter holds the per-client buckets.
+// limiter holds the per-client buckets. The map is kept bounded by the
+// sweep in allow: a bucket idle long enough that refill would fill it
+// back to burst is semantically identical to an absent one (a fresh
+// bucket starts full), so it is deleted rather than retained — without
+// this, every client address ever seen would stay resident for the
+// daemon's lifetime.
 type limiter struct {
-	rate  float64 // tokens per second
-	burst float64 // bucket capacity
+	rate       float64       // tokens per second
+	burst      float64       // bucket capacity
+	sweepEvery time.Duration // eviction cadence
 
-	mu      sync.Mutex
-	buckets map[string]*bucket
-	now     func() time.Time // test hook
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastSweep time.Time
+	now       func() time.Time // test hook
 }
 
 // newLimiter builds a limiter; rate <= 0 disables limiting.
@@ -41,11 +48,35 @@ func newLimiter(rate float64, burst int) *limiter {
 	if burst < 1 {
 		burst = 1
 	}
-	return &limiter{
+	l := &limiter{
 		rate:    rate,
 		burst:   float64(burst),
 		buckets: make(map[string]*bucket),
 		now:     time.Now,
+	}
+	if rate > 0 {
+		// One full refill is the natural eviction period: sweeping more
+		// often finds nothing evictable that matters, less often just
+		// delays reclaim.
+		l.sweepEvery = time.Duration(l.burst / rate * float64(time.Second))
+		if l.sweepEvery < time.Second {
+			l.sweepEvery = time.Second
+		}
+	}
+	return l
+}
+
+// sweep deletes buckets that have idled back to full. Caller holds l.mu;
+// now is the current limiter time.
+func (l *limiter) sweep(now time.Time) {
+	if now.Sub(l.lastSweep) < l.sweepEvery {
+		return
+	}
+	l.lastSweep = now
+	for client, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, client)
+		}
 	}
 }
 
@@ -59,6 +90,10 @@ func (l *limiter) allow(client string) (bool, time.Duration) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := l.now()
+	if l.lastSweep.IsZero() {
+		l.lastSweep = now
+	}
+	l.sweep(now)
 	b, ok := l.buckets[client]
 	if !ok {
 		b = &bucket{tokens: l.burst, last: now}

@@ -39,9 +39,11 @@ import (
 //	                               openmetrics
 //
 // Admission errors are typed: 429 + Retry-After for a full queue or an
-// over-rate client, 503 + Retry-After while draining. Clients are
-// keyed by the X-Hammertime-Client header when present, else by remote
-// address, so smoke tests and multi-tenant callers can pin identities.
+// over-rate client, 503 + Retry-After while draining — every shed path
+// derives its Retry-After from measured state (queue drain rate, token
+// refill, drain deadline). Clients are keyed by remote address; the
+// X-Hammertime-Client header overrides it only when the daemon was
+// started with Config.TrustClientHeader (the header is unauthenticated).
 //
 // Every response passes through the instrumentation middleware: an
 // access log line (method, route, status, latency, client) on the
@@ -57,9 +59,9 @@ func NewHandler(m *Manager) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
 			return
 		}
-		job, err := m.Submit(clientKey(r), req)
+		job, err := m.Submit(m.clientKey(r), req)
 		if err != nil {
-			writeSubmitError(w, err)
+			m.writeSubmitError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, job.View())
@@ -147,7 +149,7 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if !m.Ready() {
-			w.Header().Set("Retry-After", "5")
+			w.Header().Set("Retry-After", retrySeconds(m.DrainRetryAfter()))
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 			return
 		}
@@ -186,7 +188,7 @@ func instrument(m *Manager, mux *http.ServeMux) http.Handler {
 		m.observeHTTP(route, sw.Status(), elapsed.Seconds())
 		m.log.Info("http",
 			"method", r.Method, "path", r.URL.Path, "route", route,
-			"status", sw.Status(), "latency", elapsed, "client", clientKey(r))
+			"status", sw.Status(), "latency", elapsed, "client", m.clientKey(r))
 	})
 }
 
@@ -297,10 +299,15 @@ func writeSSE(w http.ResponseWriter, typ string, v any) {
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", typ, b)
 }
 
-// clientKey identifies the submitting client for rate limiting.
-func clientKey(r *http.Request) string {
-	if c := r.Header.Get("X-Hammertime-Client"); c != "" {
-		return c
+// clientKey identifies the submitting client for rate limiting: the
+// X-Hammertime-Client header when the daemon was configured to trust it
+// (it is unauthenticated — see Config.TrustClientHeader), else the
+// remote host.
+func (m *Manager) clientKey(r *http.Request) string {
+	if m.cfg.TrustClientHeader {
+		if c := r.Header.Get("X-Hammertime-Client"); c != "" {
+			return c
+		}
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
@@ -309,19 +316,27 @@ func clientKey(r *http.Request) string {
 	return host
 }
 
-// writeSubmitError maps Submit's typed errors onto status codes.
-func writeSubmitError(w http.ResponseWriter, err error) {
+// retrySeconds renders a Retry-After duration as whole seconds, never
+// below one — a zero or negative header is useless to a client.
+func retrySeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// writeSubmitError maps Submit's typed errors onto status codes. Every
+// shed path carries a Retry-After derived from measured state — queue
+// drain rate, client refill time, or drain deadline — not a constant.
+func (m *Manager) writeSubmitError(w http.ResponseWriter, err error) {
 	var over *OverloadError
 	switch {
 	case errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "30")
+		w.Header().Set("Retry-After", retrySeconds(m.DrainRetryAfter()))
 		httpError(w, http.StatusServiceUnavailable, err)
 	case errors.As(err, &over):
-		secs := int(over.RetryAfter / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		w.Header().Set("Retry-After", retrySeconds(over.RetryAfter))
 		httpError(w, http.StatusTooManyRequests, err)
 	default:
 		httpError(w, http.StatusBadRequest, err)

@@ -58,6 +58,17 @@ type Config struct {
 	// Logger receives structured request/job/drain logs (nil = silent,
 	// the historical behavior).
 	Logger *slog.Logger
+	// TrustClientHeader keys rate limiting by the X-Hammertime-Client
+	// header when set. Off by default: the header is unauthenticated, so
+	// trusting it lets any caller mint fresh rate-limit identities per
+	// request (or exhaust another client's budget by impersonation).
+	// Enable only behind a proxy that strips or validates it.
+	TrustClientHeader bool
+	// ExtraMetrics, when non-nil, contributes additional metrics to every
+	// Metrics snapshot — the cluster dispatcher wires its cache/steal
+	// counters here. It is called outside the manager's locks with a
+	// scratch Stats already holding the serve metrics.
+	ExtraMetrics func(*sim.Stats)
 }
 
 func (c *Config) applyDefaults() {
@@ -114,10 +125,11 @@ type Manager struct {
 	baseCtx    context.Context
 	baseCancel context.CancelCauseFunc
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	queue    chan *Job
-	draining bool
+	mu            sync.Mutex
+	jobs          map[string]*Job
+	queue         chan *Job
+	draining      bool
+	drainDeadline time.Time
 
 	running atomic.Int64
 	nextID  atomic.Uint64
@@ -176,15 +188,74 @@ func (m *Manager) observeHTTP(route string, status int, secs float64) {
 	m.stats.Inc("serve.http.requests;route=" + route + ";code=" + strconv.Itoa(status))
 }
 
-// Metrics snapshots the server counters plus live gauges.
+// Metrics snapshots the server counters plus live gauges, merged with
+// whatever ExtraMetrics contributes.
 func (m *Manager) Metrics() sim.StatsSnapshot {
 	m.statsMu.Lock()
-	defer m.statsMu.Unlock()
 	m.stats.SetGauge("serve.sessions", float64(m.cfg.Sessions))
 	m.stats.SetGauge("serve.queue.depth", float64(len(m.queue)))
 	m.stats.SetGauge("serve.queue.capacity", float64(m.cfg.QueueDepth))
 	m.stats.SetGauge("serve.jobs.running", float64(m.running.Load()))
-	return m.stats.Snapshot()
+	if m.cfg.ExtraMetrics == nil {
+		defer m.statsMu.Unlock()
+		return m.stats.Snapshot()
+	}
+	var merged sim.Stats
+	merged.Merge(m.stats)
+	m.statsMu.Unlock()
+	m.cfg.ExtraMetrics(&merged)
+	return merged.Snapshot()
+}
+
+// avgJobSeconds is the measured mean job duration from the
+// serve.job.seconds histogram, defaulting to one second before any job
+// has completed. It feeds the Retry-After estimates: a daemon running
+// minutes-long grids should not tell a shed client to come back in 5s.
+func (m *Manager) avgJobSeconds() float64 {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	h := m.stats.Hist("serve.job.seconds")
+	if h == nil || h.Count() == 0 {
+		return 1
+	}
+	return h.Sum() / float64(h.Count())
+}
+
+// clampRetry bounds a Retry-After estimate to something a client can
+// act on: at least a second, at most 15 minutes.
+func clampRetry(d time.Duration) time.Duration {
+	if d < time.Second {
+		return time.Second
+	}
+	if d > 15*time.Minute {
+		return 15 * time.Minute
+	}
+	return d
+}
+
+// queueRetryAfter estimates when a queue slot frees: the queued backlog
+// divided over the session pool, paced by the measured job duration.
+func (m *Manager) queueRetryAfter() time.Duration {
+	backlog := float64(len(m.queue)) / float64(m.cfg.Sessions)
+	secs := m.avgJobSeconds() * (1 + backlog)
+	return clampRetry(time.Duration(secs * float64(time.Second)))
+}
+
+// DrainRetryAfter estimates when the draining daemon's replacement can
+// take traffic: the drain deadline's remaining time when one was set,
+// otherwise the in-flight and queued work paced by the measured job
+// duration. The HTTP layer sends it on 503s (readyz and shed submits).
+func (m *Manager) DrainRetryAfter() time.Duration {
+	m.mu.Lock()
+	deadline := m.drainDeadline
+	queued := len(m.queue)
+	m.mu.Unlock()
+	if !deadline.IsZero() {
+		return clampRetry(time.Until(deadline))
+	}
+	work := float64(m.running.Load()) + float64(queued)
+	batches := 1 + work/float64(m.cfg.Sessions)
+	return clampRetry(time.Duration(batches * m.avgJobSeconds() * float64(time.Second)))
 }
 
 // Ready reports whether the daemon accepts new jobs (false once
@@ -274,10 +345,11 @@ func (m *Manager) Submit(client string, req JobRequest) (*Job, error) {
 		m.mu.Unlock()
 		cancel(errors.New("serve: queue full"))
 		m.count("serve.jobs.rejected.queue")
-		// A rough drain estimate: assume each queued job holds a session
-		// for at least a second; deeper queues push Retry-After out.
-		retry := time.Duration(1+m.cfg.QueueDepth/m.cfg.Sessions) * time.Second
-		return nil, &OverloadError{Reason: "queue full", RetryAfter: retry}
+		// Estimate the wait from the queue's measured drain rate: the
+		// backlog spread over the session pool, paced by the mean job
+		// duration observed so far — not a constant that undershoots by
+		// orders of magnitude once real grids (minutes each) arrive.
+		return nil, &OverloadError{Reason: "queue full", RetryAfter: m.queueRetryAfter()}
 	}
 }
 
@@ -358,6 +430,12 @@ func (m *Manager) Drain(ctx context.Context) error {
 	if !m.draining {
 		m.draining = true
 		close(m.queue)
+	}
+	if dl, ok := ctx.Deadline(); ok && m.drainDeadline.IsZero() {
+		// Remembered for Retry-After: by this time the jobs have either
+		// finished or been cancelled, so a shed client retrying then
+		// meets whatever replaces this process.
+		m.drainDeadline = dl
 	}
 	queued := len(m.queue)
 	m.mu.Unlock()

@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"hammertime/internal/sim"
 )
 
 // fakeRun builds a RunFunc that simulates `dur` of work, polling its
@@ -317,6 +320,52 @@ func TestLimiterRefills(t *testing.T) {
 	}
 }
 
+// TestLimiterEvictsIdleBuckets pins the bucket map's bound: a client
+// idle long enough to have refilled to a full burst is indistinguishable
+// from one never seen, so its bucket must be deleted — without the
+// sweep, every address ever to hit the daemon stayed resident forever.
+func TestLimiterEvictsIdleBuckets(t *testing.T) {
+	l := newLimiter(1, 5) // sweep cadence = one full refill = 5s
+	now := time.Unix(0, 0)
+	l.now = func() time.Time { return now }
+	for i := 0; i < 50; i++ {
+		l.allow(fmt.Sprintf("idle-%d", i))
+	}
+	l.mu.Lock()
+	grown := len(l.buckets)
+	l.mu.Unlock()
+	if grown != 50 {
+		t.Fatalf("bucket map holds %d clients, want 50", grown)
+	}
+	// A busy client drains its whole burst late enough that it is still
+	// mid-refill when the sweep fires; it must survive the eviction.
+	now = now.Add(4 * time.Second)
+	for i := 0; i < 5; i++ {
+		l.allow("busy")
+	}
+	now = now.Add(time.Second) // one full idle refill since the first allow
+	l.allow("trigger")
+	l.mu.Lock()
+	n := len(l.buckets)
+	_, busyKept := l.buckets["busy"]
+	_, idleKept := l.buckets["idle-0"]
+	l.mu.Unlock()
+	if !busyKept {
+		t.Fatal("mid-refill bucket evicted; its rate-limit state was lost")
+	}
+	if idleKept {
+		t.Fatal("idle-refilled bucket retained; the map does not shrink")
+	}
+	if n != 2 {
+		t.Fatalf("bucket map holds %d clients after sweep, want 2 (busy + trigger)", n)
+	}
+	// An evicted client starts over with a full bucket — same semantics
+	// as if it had been retained and refilled.
+	if ok, _ := l.allow("idle-0"); !ok {
+		t.Fatal("evicted client denied its post-refill token")
+	}
+}
+
 // --- HTTP surface ---
 
 func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
@@ -437,7 +486,10 @@ func TestHTTPQueueFullIs429WithRetryAfter(t *testing.T) {
 }
 
 func TestHTTPRateLimit429(t *testing.T) {
-	srv, _ := newTestServer(t, Config{Sessions: 1, QueueDepth: 100, RatePerSec: 0.5, Burst: 1, Run: fakeRun(0)})
+	srv, _ := newTestServer(t, Config{
+		Sessions: 1, QueueDepth: 100, RatePerSec: 0.5, Burst: 1, Run: fakeRun(0),
+		TrustClientHeader: true,
+	})
 	client := func() (int, http.Header) {
 		req, _ := http.NewRequest("POST", srv.URL+"/v1/jobs", strings.NewReader(`{"experiment":"e1"}`))
 		req.Header.Set("X-Hammertime-Client", "hog")
@@ -506,6 +558,174 @@ func TestHTTPHealthReadyMetrics(t *testing.T) {
 	}
 	if code, _, _ := doJSON(t, "POST", srv.URL+"/v1/jobs", `{"experiment":"e1"}`); code != http.StatusServiceUnavailable {
 		t.Fatalf("submit during drain: want 503, got %d", code)
+	}
+}
+
+// TestClientHeaderGating pins the identity rules: the unauthenticated
+// X-Hammertime-Client header is ignored unless the daemon was started
+// with TrustClientHeader — otherwise any caller could mint a fresh
+// rate-limit identity per request or spend another client's budget.
+func TestClientHeaderGating(t *testing.T) {
+	req := httptest.NewRequest("POST", "/v1/jobs", nil)
+	req.RemoteAddr = "192.0.2.7:4444"
+	req.Header.Set("X-Hammertime-Client", "spoofed")
+
+	m := NewManager(Config{Sessions: 1, Run: fakeRun(0)})
+	defer m.Drain(context.Background())
+	if got := m.clientKey(req); got != "192.0.2.7" {
+		t.Fatalf("untrusted header used as client key: %q", got)
+	}
+
+	trusted := NewManager(Config{Sessions: 1, Run: fakeRun(0), TrustClientHeader: true})
+	defer trusted.Drain(context.Background())
+	if got := trusted.clientKey(req); got != "spoofed" {
+		t.Fatalf("trusted header ignored: %q", got)
+	}
+	req.Header.Del("X-Hammertime-Client")
+	if got := trusted.clientKey(req); got != "192.0.2.7" {
+		t.Fatalf("missing header must fall back to the remote host, got %q", got)
+	}
+}
+
+// retryAfterSecs parses a Retry-After header, failing the test if it is
+// missing or not a positive integer.
+func retryAfterSecs(t *testing.T, hdr http.Header) int {
+	t.Helper()
+	v := hdr.Get("Retry-After")
+	if v == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q is not a positive integer of seconds", v)
+	}
+	return secs
+}
+
+// TestHTTPShedRetryAfterDerived walks all three shed paths — 429 queue
+// full, 429 over rate, 503 draining — and pins that each carries a
+// positive Retry-After derived from measured state rather than a
+// hardcoded constant (the draining value must track the drain deadline).
+func TestHTTPShedRetryAfterDerived(t *testing.T) {
+	block := make(chan struct{})
+	srv, m := newTestServer(t, Config{
+		Sessions: 1, QueueDepth: 1, RatePerSec: 0.001, Burst: 2,
+		TrustClientHeader: true,
+		Run: func(ctx context.Context, req JobRequest) (string, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return "ok", nil
+		},
+	})
+	defer close(block)
+	submit := func(client string) (int, http.Header) {
+		req, _ := http.NewRequest("POST", srv.URL+"/v1/jobs", strings.NewReader(`{"experiment":"e1"}`))
+		req.Header.Set("X-Hammertime-Client", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header
+	}
+
+	// One running + one queued fill the daemon; the next submission from
+	// a fresh client is shed for queue depth.
+	if code, _ := submit("a"); code != http.StatusAccepted {
+		t.Fatalf("first: want 202, got %d", code)
+	}
+	if code, _ := submit("b"); code != http.StatusAccepted {
+		t.Fatalf("second: want 202, got %d", code)
+	}
+	code, hdr := submit("c")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("queue full: want 429, got %d", code)
+	}
+	retryAfterSecs(t, hdr)
+
+	// Client "a" has one token left, then is over rate; at 0.001/s the
+	// derived wait is on the order of the refill time (~1000s), never
+	// the old constant's scale of seconds.
+	if code, _ = submit("a"); code != http.StatusTooManyRequests {
+		t.Fatalf("over-rate: want 429 (queue full shadows it), got %d", code)
+	}
+	code, hdr = submit("a")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-rate: want 429, got %d", code)
+	}
+	if secs := retryAfterSecs(t, hdr); secs < 60 {
+		t.Fatalf("over-rate Retry-After %ds does not reflect the 0.001/s refill", secs)
+	}
+
+	// Drain with a deadline: the 503s' Retry-After must track the
+	// deadline's remaining time, not a constant.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	go m.Drain(ctx)
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("manager never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	code, hdr = submit("d")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit: want 503, got %d", code)
+	}
+	if secs := retryAfterSecs(t, hdr); secs < 30 || secs > 121 {
+		t.Fatalf("draining Retry-After %ds does not track the 2m drain deadline", secs)
+	}
+}
+
+// TestMetricsExtraMerge pins the ExtraMetrics hook: contributed counters
+// and gauges surface in the same snapshot as the serve metrics — the
+// wiring the cluster dispatcher uses to expose cache and steal counters
+// on /metrics.
+func TestMetricsExtraMerge(t *testing.T) {
+	m := NewManager(Config{
+		Sessions: 1, RatePerSec: -1, Run: fakeRun(0),
+		ExtraMetrics: func(st *sim.Stats) {
+			st.Add("cluster.cache.hits", 7)
+			st.SetGauge("cluster.workers.live", 2)
+		},
+	})
+	defer m.Drain(context.Background())
+	job, err := m.Submit("c1", JobRequest{Experiment: "e1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, job)
+
+	snap := m.Metrics()
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["cluster.cache.hits"] != 7 {
+		t.Fatalf("extra counter missing from snapshot: %v", snap.Counters)
+	}
+	if counters["serve.jobs.submitted"] != 1 {
+		t.Fatalf("serve counters lost in merge: %v", snap.Counters)
+	}
+	var live float64 = -1
+	for _, g := range snap.Gauges {
+		if g.Name == "cluster.workers.live" {
+			live = g.Value
+		}
+	}
+	if live != 2 {
+		t.Fatalf("extra gauge missing from snapshot: %v", snap.Gauges)
+	}
+	// The hook must contribute to fresh scratch state each call, not
+	// accumulate across snapshots.
+	snap = m.Metrics()
+	for _, c := range snap.Counters {
+		if c.Name == "cluster.cache.hits" && c.Value != 7 {
+			t.Fatalf("extra counter accumulated across snapshots: %d", c.Value)
+		}
 	}
 }
 

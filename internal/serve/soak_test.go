@@ -44,8 +44,9 @@ func TestChaosSoak(t *testing.T) {
 	var seq atomic.Uint64
 	m := NewManager(Config{
 		Sessions: 3, QueueDepth: 6, RatePerSec: 200, Burst: 50,
-		JobTimeout: 250 * time.Millisecond,
-		Chaos:      chaos,
+		JobTimeout:        250 * time.Millisecond,
+		TrustClientHeader: true,
+		Chaos:             chaos,
 		Run: func(ctx context.Context, req JobRequest) (string, error) {
 			switch seq.Add(1) % 5 {
 			case 0: // slow: cancelled by timeout, DELETE, or chaos

@@ -220,10 +220,10 @@ func TestStatsStringIncludesNewSections(t *testing.T) {
 func TestHistogramObserveOutOfRange(t *testing.T) {
 	var s Stats
 	h := s.NewHistogram("lat", ExpBuckets(0.001, 10, 3)) // 0.001, 0.01, 0.1
-	h.Observe(0.0000001) // far below the first bound
-	h.Observe(0.001)     // exactly on the first bound: inclusive
-	h.Observe(0.01)      // exactly on a middle bound
-	h.Observe(42)        // far above the last bound
+	h.Observe(0.0000001)                                 // far below the first bound
+	h.Observe(0.001)                                     // exactly on the first bound: inclusive
+	h.Observe(0.01)                                      // exactly on a middle bound
+	h.Observe(42)                                        // far above the last bound
 	want := []uint64{2, 1, 0, 1}
 	got := h.Counts()
 	if len(got) != len(want) {

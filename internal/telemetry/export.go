@@ -102,19 +102,19 @@ func ExportChrome(ct *obs.ChromeTrace, spans []SpanSnap) {
 
 // spanWire is the JSONL form of one span.
 type spanWire struct {
-	Type       string          `json:"type"`
-	Trace      string          `json:"trace"`
-	Span       uint64          `json:"span"`
-	Parent     uint64          `json:"parent,omitempty"`
-	Lane       uint64          `json:"lane"`
-	Name       string          `json:"name"`
-	Start      time.Time       `json:"start"`
-	End        *time.Time      `json:"end,omitempty"`
-	DurUS      float64         `json:"dur_us,omitempty"`
-	StartCycle uint64          `json:"start_cycle,omitempty"`
-	EndCycle   uint64          `json:"end_cycle,omitempty"`
+	Type       string            `json:"type"`
+	Trace      string            `json:"trace"`
+	Span       uint64            `json:"span"`
+	Parent     uint64            `json:"parent,omitempty"`
+	Lane       uint64            `json:"lane"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	End        *time.Time        `json:"end,omitempty"`
+	DurUS      float64           `json:"dur_us,omitempty"`
+	StartCycle uint64            `json:"start_cycle,omitempty"`
+	EndCycle   uint64            `json:"end_cycle,omitempty"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
-	Err        string          `json:"err,omitempty"`
+	Err        string            `json:"err,omitempty"`
 }
 
 // ExportJSONL writes one `{"type":"span",...}` line per span into j,

@@ -381,7 +381,7 @@ func TestWritePrometheus(t *testing.T) {
 	h := st.NewHistogram("serve.http.seconds;route=GET /metrics;code=200", sim.ExpBuckets(0.001, 10, 3))
 	h.Observe(0.0005) // below first bound
 	h.Observe(0.005)
-	h.Observe(7)  // above last bound (0.1)
+	h.Observe(7) // above last bound (0.1)
 	var buf bytes.Buffer
 	if err := WritePrometheus(&buf, st.Snapshot()); err != nil {
 		t.Fatal(err)
@@ -411,7 +411,10 @@ func TestWritePrometheus(t *testing.T) {
 }
 
 func TestPromNameMangling(t *testing.T) {
-	cases := []struct{ in, name string; nlabels int }{
+	cases := []struct {
+		in, name string
+		nlabels  int
+	}{
 		{"plain", "plain", 0},
 		{"dots.and-dashes", "dots_and_dashes", 0},
 		{"a;k=v", "a", 1},
@@ -425,6 +428,111 @@ func TestPromNameMangling(t *testing.T) {
 	}
 	if escapeLabel(`a"b\c`+"\n") != `a\"b\\c\n` {
 		t.Errorf("escapeLabel broken: %q", escapeLabel(`a"b\c`+"\n"))
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	id := TraceID(0xdeadbeefcafe0123)
+	got, ok := ParseTraceID(id.String())
+	if !ok || got != id {
+		t.Fatalf("ParseTraceID(%q) = %v/%v, want %v/true", id.String(), got, ok, id)
+	}
+	for _, bad := range []string{"", "xyz", "deadbeef", "00000000000000000", "g000000000000000"} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestImportRemote(t *testing.T) {
+	// Worker side: a grid span with two cell lanes, one failed, one open.
+	remote := NewTracerWithID(0x1111)
+	rctx := NewContext(context.Background(), &Scope{Tracer: remote})
+	rctx, grid := StartSpan(rctx, "grid:e1")
+	grid.SetAttrs(String("mode", "worker"))
+	cctx, cell := StartLane(rctx, "cell")
+	_, ph := StartSpan(cctx, "machine.run")
+	ph.SetCycles(10, 20)
+	ph.End()
+	cell.End()
+	_, cell2 := StartLane(rctx, "cell")
+	cell2.EndErr(errors.New("boom"))
+	grid.End()
+
+	// Coordinator side: a job span plus a dispatch span the import hangs
+	// off of.
+	local := NewTracerWithID(0x2222)
+	lctx := NewContext(context.Background(), &Scope{Tracer: local})
+	lctx, job := StartSpan(lctx, "job")
+	_, disp := StartSpan(lctx, "dispatch")
+	local.ImportRemote(disp.ID(), remote.Snapshot())
+	disp.End()
+	job.End()
+
+	snaps := local.Snapshot()
+	if len(snaps) != 6 {
+		t.Fatalf("got %d spans, want 6 (2 local + 4 imported)", len(snaps))
+	}
+	byName := map[string][]SpanSnap{}
+	ids := map[SpanID]bool{}
+	for _, s := range snaps {
+		if s.Trace != 0x2222 {
+			t.Fatalf("imported span %s kept remote trace id %v", s.Name, s.Trace)
+		}
+		if ids[s.ID] {
+			t.Fatalf("duplicate span id %d after import", s.ID)
+		}
+		ids[s.ID] = true
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	g := byName["grid:e1"][0]
+	if g.Parent != disp.ID() {
+		t.Fatalf("remote root reparented to %d, want dispatch %d", g.Parent, disp.ID())
+	}
+	c1, c2 := byName["cell"][0], byName["cell"][1]
+	if c1.Parent != g.ID || c2.Parent != g.ID {
+		t.Fatal("imported cells should stay children of imported grid")
+	}
+	if c1.Lane == g.Lane || c1.Lane == c2.Lane {
+		t.Fatal("imported lanes must stay distinct")
+	}
+	p := byName["machine.run"][0]
+	if p.Parent != c1.ID || p.Lane != c1.Lane {
+		t.Fatal("imported child should keep remapped parent and lane")
+	}
+	if !p.HasCycles || p.StartCycle != 10 || p.EndCycle != 20 {
+		t.Fatalf("cycles lost: %d..%d has=%v", p.StartCycle, p.EndCycle, p.HasCycles)
+	}
+	if c2.Err != "boom" {
+		t.Fatalf("imported error lost: %q", c2.Err)
+	}
+	if len(g.Attrs) != 1 || g.Attrs[0].Key != "mode" {
+		t.Fatalf("imported attrs lost: %+v", g.Attrs)
+	}
+	// Imported spans sequence after everything local at import time, and
+	// the chrome exporter must still accept the merged snapshot.
+	jb := byName["job"][0]
+	if g.StartSeq <= jb.StartSeq {
+		t.Fatal("imported span sequenced before local job start")
+	}
+	var buf bytes.Buffer
+	ct := obs.NewChromeTrace(&buf)
+	ExportChrome(ct, snaps)
+	if err := ct.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("merged trace does not export: %s", buf.String())
+	}
+}
+
+func TestImportRemoteEmptyAndNil(t *testing.T) {
+	var nilTr *Tracer
+	nilTr.ImportRemote(0, []SpanSnap{{ID: 1, Name: "x"}}) // must not panic
+	tr := NewTracer()
+	tr.ImportRemote(0, nil)
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty import added %d spans", len(got))
 	}
 }
 
