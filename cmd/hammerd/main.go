@@ -18,6 +18,12 @@
 //   - SIGINT/SIGTERM drains gracefully: /readyz flips to 503, running
 //     and queued jobs finish (bounded by -drain-timeout, after which
 //     they are cooperatively cancelled), then the daemon exits 0;
+//   - -state-dir makes jobs durable: every accepted job is journaled
+//     and running jobs checkpoint completed grid cells, so a crashed
+//     (even SIGKILL'd) daemon restarts with finished jobs' tables
+//     intact and interrupted jobs resumed — same job id, same trace id,
+//     byte-identical table; -job-retention and -job-retention-count
+//     bound the retained history;
 //   - -chaos (or HAMMERTIME_CHAOS) arms the fault-injection middleware
 //     — "latency=20ms:0.5,panic:0.1,cancel:0.2" — used by the CI soak;
 //   - every job carries a telemetry trace (trace_id in the submit
@@ -96,6 +102,10 @@ type options struct {
 	chaosSeed    uint64
 	trustClient  bool
 
+	stateDir       string
+	retentionAge   time.Duration
+	retentionCount int
+
 	coordinator     bool
 	workerOf        string
 	workerName      string
@@ -119,6 +129,9 @@ func main() {
 	flag.StringVar(&o.chaosSpec, "chaos", os.Getenv("HAMMERTIME_CHAOS"), "fault injection, e.g. latency=20ms:0.5,panic:0.1,cancel:0.2 (default $HAMMERTIME_CHAOS)")
 	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 1, "chaos RNG seed")
 	flag.BoolVar(&o.trustClient, "trust-client-header", false, "key rate limiting by the unauthenticated X-Hammertime-Client header; enable only behind a proxy that strips or validates it")
+	flag.StringVar(&o.stateDir, "state-dir", "", "persist jobs (journal + per-job checkpoints) under this directory; on restart, finished jobs reappear and interrupted ones resume from their last completed cells (empty = in-memory only)")
+	flag.DurationVar(&o.retentionAge, "job-retention", 6*time.Hour, "evict finished jobs from the registry (and state dir) this long after completion (<0 disables the age bound)")
+	flag.IntVar(&o.retentionCount, "job-retention-count", 4096, "max finished jobs retained; the oldest beyond this are evicted (<0 disables the count bound)")
 	flag.BoolVar(&o.coordinator, "coordinator", false, "shard experiment grids across registered workers (see -worker)")
 	flag.StringVar(&o.workerOf, "worker", "", "run as a cell worker for the coordinator at this URL (e.g. http://host:8077)")
 	flag.StringVar(&o.workerName, "worker-name", "", "worker identity in the coordinator's registry (default hostname-pid)")
@@ -208,6 +221,16 @@ func run(logger *slog.Logger, o options) error {
 		Chaos:             chaos,
 		Logger:            logger,
 		TrustClientHeader: o.trustClient,
+		RetentionAge:      o.retentionAge,
+		RetentionMax:      o.retentionCount,
+	}
+	if o.stateDir != "" {
+		store, err := serve.OpenStore(o.stateDir)
+		if err != nil {
+			return fmt.Errorf("state-dir: %w", err)
+		}
+		defer store.Close()
+		cfg.Store = store
 	}
 
 	var disp *cluster.Dispatcher
@@ -234,6 +257,14 @@ func run(logger *slog.Logger, o options) error {
 		cfg.ExtraMetrics = disp.MergeInto
 	}
 	mgr := serve.NewManager(cfg)
+	if cfg.Store != nil {
+		replayed, resumed := mgr.Recovered()
+		logger.Info("job store open", "dir", o.stateDir, "replayed", replayed, "resumed", resumed)
+		if resumed > 0 {
+			// A fixed plain line like "listening": restart tooling greps it.
+			fmt.Fprintf(os.Stderr, "hammerd: resuming %d interrupted job(s) from %s\n", resumed, o.stateDir)
+		}
+	}
 
 	handler := serve.NewHandler(mgr)
 	if disp != nil {

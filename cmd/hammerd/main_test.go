@@ -69,17 +69,19 @@ func startDaemon(t *testing.T, stderr *syncBuf, extra ...string) (string, *exec.
 	})
 
 	// The banner is "hammerd: listening on http://HOST:PORT (...)"; it
-	// carries the kernel-chosen port. Keep draining stderr afterwards so
-	// the daemon never blocks on a full pipe.
+	// carries the kernel-chosen port. It is not necessarily the first
+	// stderr line (a -state-dir daemon logs its recovery first), so scan
+	// for it. Keep draining stderr afterwards so the daemon never blocks
+	// on a full pipe.
 	lines := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(pr)
-		first := true
+		found := false
 		for sc.Scan() {
 			line := sc.Text()
 			stderr.add(line)
-			if first {
-				first = false
+			if !found && strings.Contains(line, "listening on http://") {
+				found = true
 				lines <- line
 			}
 		}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonSIGKILLRestartResumes is the tentpole's process-level
+// acceptance test: a daemon with -state-dir is SIGKILLed mid-simulation
+// (no drain, no goodbye write), restarted over the same state dir, and
+// the same job id must finish with a table byte-identical to an
+// uninterrupted daemon's — the restarted process resumes from the cells
+// the dead one already completed instead of starting over.
+func TestDaemonSIGKILLRestartResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	const submission = `{"experiment":"e1","horizon":20000000}`
+
+	submit := func(url string) string {
+		t.Helper()
+		resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(submission))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted || view.ID == "" {
+			t.Fatalf("submit: %d id=%q", resp.StatusCode, view.ID)
+		}
+		return view.ID
+	}
+	pollDone := func(url, id string, stderr *syncBuf) (restarts int) {
+		t.Helper()
+		deadline := time.Now().Add(120 * time.Second)
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished\nstderr:\n%s", id, stderr.String())
+			}
+			resp, err := http.Get(url + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var view struct {
+				State    string `json:"state"`
+				Restarts int    `json:"restarts"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			switch view.State {
+			case "done":
+				return view.Restarts
+			case "failed", "cancelled":
+				t.Fatalf("job %s: %s\nstderr:\n%s", id, view.State, stderr.String())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	fetchTable := func(url, id string) []byte {
+		t.Helper()
+		resp, err := http.Get(url + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(table) == 0 {
+			t.Fatalf("result: %d\n%s", resp.StatusCode, table)
+		}
+		return table
+	}
+
+	// Reference: an uninterrupted daemon (no state dir) runs the same
+	// submission to completion.
+	var refErr syncBuf
+	refURL, refCmd := startDaemon(t, &refErr, "-sessions", "1", "-rate", "-1")
+	refID := submit(refURL)
+	pollDone(refURL, refID, &refErr)
+	want := fetchTable(refURL, refID)
+	refCmd.Process.Kill()
+
+	// Victim: same submission under -state-dir, SIGKILLed as soon as its
+	// checkpoint shows completed cells — guaranteed mid-run, with
+	// resumable state on disk and no chance to journal a terminal state.
+	stateDir := filepath.Join(t.TempDir(), "state")
+	var firstErr syncBuf
+	firstURL, firstCmd := startDaemon(t, &firstErr,
+		"-sessions", "1", "-rate", "-1", "-state-dir", stateDir)
+	jobID := submit(firstURL)
+	ckpt := filepath.Join(stateDir, "checkpoints", jobID+".ckpt")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s checkpointed no cells to kill over\nstderr:\n%s", jobID, firstErr.String())
+		}
+		if b, err := os.ReadFile(ckpt); err == nil && bytes.Count(b, []byte{'\n'}) >= 1 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := firstCmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	firstCmd.Wait()
+
+	// Restart over the same state dir: the same job id must be found
+	// mid-flight, resumed (restarts >= 1), and finish byte-identical.
+	var secondErr syncBuf
+	secondURL, _ := startDaemon(t, &secondErr,
+		"-sessions", "1", "-rate", "-1", "-state-dir", stateDir)
+	if restarts := pollDone(secondURL, jobID, &secondErr); restarts != 1 {
+		t.Fatalf("resumed job reports restarts=%d, want 1\nstderr:\n%s", restarts, secondErr.String())
+	}
+	if !strings.Contains(secondErr.String(), "resuming 1 interrupted job") {
+		t.Fatalf("restarted daemon did not announce the resume:\n%s", secondErr.String())
+	}
+	got := fetchTable(secondURL, jobID)
+	if !bytes.Equal(got, want) {
+		t.Errorf("resumed table differs from uninterrupted run:\n--- resumed ---\n%s\n--- baseline ---\n%s", got, want)
+	}
+	// The terminal job's checkpoint is cleaned out of the state dir.
+	removeDeadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); os.IsNotExist(err) {
+			break
+		}
+		if time.Now().After(removeDeadline) {
+			t.Fatal("finished job's checkpoint file was never removed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -167,6 +168,29 @@ func (c *Checkpoint) fail(err error) {
 
 // activeCk holds the checkpoint consulted by runGrid (nil = none).
 var activeCk atomic.Pointer[Checkpoint]
+
+// ckContextKey carries a per-run checkpoint through a context.
+type ckContextKey struct{}
+
+// WithCheckpoint returns ctx carrying a checkpoint that identified grids
+// consult and append to, taking precedence over the package-wide one
+// installed with SetCheckpoint. The package-wide slot is per-process —
+// right for a CLI run, wrong for a daemon simulating many jobs at once —
+// so hammerd threads each job's own checkpoint here and concurrent jobs
+// never share (or clobber) resume state. A nil checkpoint returns ctx
+// unchanged.
+func WithCheckpoint(ctx context.Context, ck *Checkpoint) context.Context {
+	if ck == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ckContextKey{}, ck)
+}
+
+// checkpointFrom returns the context-scoped checkpoint, or nil.
+func checkpointFrom(ctx context.Context) *Checkpoint {
+	ck, _ := ctx.Value(ckContextKey{}).(*Checkpoint)
+	return ck
+}
 
 // SetCheckpoint installs (or, with nil, removes) the checkpoint that
 // identified grids consult and append to. cmd/hammerbench wires its

@@ -80,6 +80,72 @@ func TestCheckpointResumeSkipsCompletedCells(t *testing.T) {
 	}
 }
 
+// TestContextCheckpointScoped pins the per-job checkpoint path used by
+// hammerd's durable job store: a checkpoint carried by the context is
+// the one a grid consults and appends to, taking precedence over the
+// process-wide SetCheckpoint slot — so concurrent daemon jobs each
+// resume from their own file instead of sharing (and clobbering) one
+// global checkpoint.
+func TestContextCheckpointScoped(t *testing.T) {
+	resetRobustness(t)
+	dir := t.TempDir()
+	spec := GridSpec{ID: "t-ctxck", Config: "c1", Workers: 1}
+
+	global, err := OpenCheckpoint(filepath.Join(dir, "global.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer global.Close()
+	SetCheckpoint(global)
+
+	jobPath := filepath.Join(dir, "job-1.ckpt")
+	jobCk, err := OpenCheckpoint(jobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithCheckpoint(context.Background(), jobCk)
+	var calls atomic.Int64
+	fn := func(_ context.Context, i int) (int, error) {
+		calls.Add(1)
+		return 7 * i, nil
+	}
+	if err := runGrid(ctx, spec, 4, fn).Err(); err != nil {
+		t.Fatal(err)
+	}
+	if jobCk.Added() != 4 {
+		t.Fatalf("context checkpoint recorded %d cells, want 4", jobCk.Added())
+	}
+	if global.Added() != 0 {
+		t.Fatalf("global checkpoint received %d cells despite the context override", global.Added())
+	}
+	if err := jobCk.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restarted job reopens its own file and resumes without
+	// recomputing; the global slot is still untouched.
+	jobCk2, err := OpenCheckpoint(jobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jobCk2.Close()
+	calls.Store(0)
+	again := runGrid(WithCheckpoint(context.Background(), jobCk2), spec, 4, fn)
+	if err := again.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if again.Restored != 4 || calls.Load() != 0 {
+		t.Fatalf("resume via context: restored=%d calls=%d, want 4 and 0", again.Restored, calls.Load())
+	}
+	if global.Added() != 0 {
+		t.Fatalf("global checkpoint gained %d cells on resume", global.Added())
+	}
+	// WithCheckpoint(nil) is a no-op: the global slot applies again.
+	if noop := WithCheckpoint(context.Background(), nil); checkpointFrom(noop) != nil {
+		t.Fatal("nil checkpoint must not be carried")
+	}
+}
+
 func TestCheckpointTrimsTornTail(t *testing.T) {
 	resetRobustness(t)
 	path := filepath.Join(t.TempDir(), "grid.ckpt")

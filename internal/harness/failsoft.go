@@ -325,7 +325,10 @@ func runGrid[T any](ctx context.Context, spec GridSpec, n int, fn func(ctx conte
 			order = append(order, i)
 		}
 	}
-	ck := activeCheckpoint()
+	ck := checkpointFrom(ctx)
+	if ck == nil {
+		ck = activeCheckpoint()
+	}
 	if spec.ID == "" {
 		ck = nil
 	}

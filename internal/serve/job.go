@@ -87,6 +87,11 @@ type Job struct {
 	ID      string
 	Client  string
 	Request JobRequest
+	// Restarts counts daemon restarts this job survived: 0 for a job
+	// accepted by the current process, +1 each time a crash-restarted
+	// daemon found it non-terminal in the store and resubmitted it.
+	// Immutable after construction.
+	Restarts int
 
 	mu        sync.Mutex
 	state     JobState
@@ -111,6 +116,12 @@ type Job struct {
 	// opted in via Events — the obs recorder streaming simulator events.
 	// Immutable after submission.
 	scope *telemetry.Scope
+	// traceID is the persisted trace id of a job replayed from the store
+	// in a terminal state: such a job has no live tracer (its spans died
+	// with the previous process), but status responses still report the
+	// id so externally exported traces remain correlatable. Live jobs
+	// leave it empty and answer from the scope's tracer.
+	traceID string
 	// Lifecycle spans: job covers submit→terminal, queued covers the
 	// queue wait, run covers the session's execution. Ended by the
 	// manager at the matching transitions; Span.End is first-wins, so
@@ -118,10 +129,12 @@ type Job struct {
 	jobSpan, queuedSpan, runSpan *telemetry.Span
 }
 
-// TraceID returns the job's telemetry trace id ("" without a scope).
+// TraceID returns the job's telemetry trace id: the live tracer's for a
+// job of this process, the persisted one for a terminal job replayed
+// from the store ("" when neither exists).
 func (j *Job) TraceID() string {
 	if j.scope == nil || j.scope.Tracer == nil {
-		return ""
+		return j.traceID
 	}
 	return j.scope.Tracer.ID().String()
 }
@@ -149,6 +162,11 @@ type JobView struct {
 	// TraceID is the job's telemetry trace id; fetch the trace at
 	// GET /v1/jobs/{id}/trace and match spans by this id.
 	TraceID string `json:"trace_id,omitempty"`
+	// Restarts is how many daemon restarts the job survived: a job that
+	// was resumed from the persistent store after a crash reports >= 1,
+	// so a client polling across the restart can tell its job was
+	// recovered rather than re-run from scratch.
+	Restarts int `json:"restarts,omitempty"`
 }
 
 // View snapshots the job under its lock.
@@ -163,6 +181,7 @@ func (j *Job) View() JobView {
 		Submitted:  j.submitted,
 		Error:      j.errMsg,
 		TraceID:    j.TraceID(),
+		Restarts:   j.Restarts,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -212,6 +231,53 @@ func (j *Job) transition(state JobState, errMsg string) bool {
 		close(j.done)
 	}
 	return true
+}
+
+// record snapshots the job as a store JobRecord under its lock. The
+// snapshot is complete — the journal's last-record-wins replay depends
+// on every append carrying the whole job, not a delta.
+func (j *Job) record() JobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobRecord{
+		ID:        j.ID,
+		Client:    j.Client,
+		Request:   j.Request,
+		State:     j.state,
+		TraceID:   j.TraceID(),
+		Restarts:  j.Restarts,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+		Table:     j.table,
+		Error:     j.errMsg,
+	}
+}
+
+// replayedJob rebuilds a terminal job from its journaled record: an
+// inert registry entry — result table, error, timestamps, persisted
+// trace id — with no contexts, spans or hub (its run died with the
+// process that executed it). GET /v1/jobs/{id} and /result serve it
+// exactly as if the daemon had never restarted.
+func replayedJob(rec JobRecord) *Job {
+	j := &Job{
+		ID:       rec.ID,
+		Client:   rec.Client,
+		Request:  rec.Request,
+		Restarts: rec.Restarts,
+		state:    rec.State,
+		traceID:  rec.TraceID,
+
+		submitted: rec.Submitted,
+		started:   rec.Started,
+		finished:  rec.Finished,
+		table:     rec.Table,
+		errMsg:    rec.Error,
+		cancel:    func(error) {},
+		done:      make(chan struct{}),
+	}
+	close(j.done)
+	return j
 }
 
 // setResult records the rendered table and marks the job done.

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -69,6 +70,24 @@ type Config struct {
 	// counters here. It is called outside the manager's locks with a
 	// scratch Stats already holding the serve metrics.
 	ExtraMetrics func(*sim.Stats)
+	// Store, when non-nil, makes the registry durable: every accepted
+	// job is journaled across its lifecycle, running jobs thread a
+	// per-job harness checkpoint, and NewManager replays the journal —
+	// terminal jobs reappear with their tables, orphaned queued/running
+	// jobs are resubmitted under their original id and trace and resume
+	// from their last completed cells. cmd/hammerd wires -state-dir here
+	// via OpenStore.
+	Store *Store
+	// RetentionAge evicts terminal jobs from the registry (and the
+	// store's next compaction) once they have been finished this long
+	// (0 = 6h; < 0 disables the age bound). Running and queued jobs are
+	// never evicted.
+	RetentionAge time.Duration
+	// RetentionMax bounds how many terminal jobs the registry retains;
+	// beyond it the oldest-finished are evicted (0 = 4096; < 0 disables
+	// the count bound). Without retention a long-lived daemon leaked
+	// every job ever submitted.
+	RetentionMax int
 }
 
 func (c *Config) applyDefaults() {
@@ -83,6 +102,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Burst <= 0 {
 		c.Burst = 10
+	}
+	if c.RetentionAge == 0 {
+		c.RetentionAge = 6 * time.Hour
+	}
+	if c.RetentionMax == 0 {
+		c.RetentionMax = 4096
 	}
 	if c.Run == nil {
 		c.Run = func(ctx context.Context, req JobRequest) (string, error) {
@@ -121,6 +146,8 @@ type Manager struct {
 	cfg     Config
 	limiter *limiter
 	log     *slog.Logger
+	store   *Store
+	now     func() time.Time // test hook for the retention sweep
 
 	baseCtx    context.Context
 	baseCancel context.CancelCauseFunc
@@ -130,6 +157,12 @@ type Manager struct {
 	queue         chan *Job
 	draining      bool
 	drainDeadline time.Time
+	lastSweep     time.Time
+	evicted       int64 // lifetime retention evictions
+
+	// Recovery counts, fixed at NewManager: terminal jobs replayed into
+	// the registry and orphans resubmitted for resume.
+	replayed, resumed int
 
 	running atomic.Int64
 	nextID  atomic.Uint64
@@ -139,7 +172,10 @@ type Manager struct {
 	stats   *sim.Stats
 }
 
-// NewManager builds the manager and starts its session pool.
+// NewManager builds the manager, replays the persistent store when one
+// is configured (terminal jobs reappear, orphaned queued/running jobs
+// are resubmitted to resume from their checkpoints), and starts the
+// session pool.
 func NewManager(cfg Config) *Manager {
 	cfg.applyDefaults()
 	ctx, cancel := context.WithCancelCause(context.Background())
@@ -147,20 +183,99 @@ func NewManager(cfg Config) *Manager {
 		cfg:        cfg,
 		limiter:    newLimiter(cfg.RatePerSec, cfg.Burst),
 		log:        telemetry.OrNop(cfg.Logger),
+		store:      cfg.Store,
+		now:        time.Now,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
-		queue:      make(chan *Job, cfg.QueueDepth),
 		stats:      &sim.Stats{},
 	}
 	// Job latency buckets: 1ms up through ~1h (simulation grids are
 	// minutes-long; the default 1s-based buckets would flatten them).
 	m.stats.NewHistogram("serve.job.seconds", sim.ExpBuckets(0.001, 4, 12))
+
+	// Recovery runs before the sessions start, so orphans are enqueued
+	// without racing admission. The queue is over-provisioned by the
+	// orphan count: recovered work was already accepted once and must
+	// not be shed, while new submissions stay bounded by QueueDepth (an
+	// explicit check in Submit, not channel capacity).
+	orphans := m.recover()
+	m.queue = make(chan *Job, cfg.QueueDepth+len(orphans))
+	for _, job := range orphans {
+		m.queue <- job
+		m.jobs[job.ID] = job
+		m.persist(job)
+		m.log.Info("job resumed from store",
+			"job", job.ID, "trace", job.TraceID(), "client", job.Client,
+			"experiment", job.Request.Experiment, "restarts", job.Restarts)
+	}
 	for i := 0; i < cfg.Sessions; i++ {
 		m.wg.Add(1)
 		go m.session(i)
 	}
 	return m
+}
+
+// recover replays the store into the registry. Terminal records become
+// inert jobs (after the same retention filter the live sweep applies,
+// so a restart does not resurrect evicted history); queued or running
+// records are orphans of the dead process — rebuilt as live jobs under
+// their original id, submission time and trace id, with Restarts
+// bumped, and returned for the caller to enqueue. Also restores the id
+// counter past every recovered id and clears checkpoint debris of jobs
+// that no longer need one.
+func (m *Manager) recover() []*Job {
+	if m.store == nil {
+		return nil
+	}
+	recs := applyRetention(m.store.Records(), m.now(), m.cfg.RetentionAge, m.cfg.RetentionMax)
+	live := make(map[string]bool)
+	var orphans []*Job
+	var maxID uint64
+	for _, rec := range recs {
+		var n uint64
+		if _, err := fmt.Sscanf(rec.ID, "job-%d", &n); err == nil && n > maxID {
+			maxID = n
+		}
+		if rec.State.Terminal() {
+			m.jobs[rec.ID] = replayedJob(rec)
+			m.replayed++
+			continue
+		}
+		// Orphan: the previous process died with this job queued or
+		// running. Resubmit it with its trace preserved, so the trace a
+		// client captured at submission still names the job's spans.
+		tracer := telemetry.NewTracer()
+		if tid, ok := telemetry.ParseTraceID(rec.TraceID); ok {
+			tracer = telemetry.NewTracerWithID(tid)
+		}
+		job := m.newJob(rec.ID, rec.Client, rec.Request, rec.Restarts+1, rec.Submitted, tracer)
+		orphans = append(orphans, job)
+		live[rec.ID] = true
+		m.resumed++
+	}
+	// Keep only the id namespace monotonic: replayed and resumed ids
+	// must never be re-minted for new submissions.
+	m.nextID.Store(maxID)
+	m.store.SweepCheckpoints(live)
+	// Drop evicted history from the store's view too, so its next
+	// compaction shrinks with the registry.
+	kept := make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		kept[rec.ID] = true
+	}
+	for _, rec := range m.store.Records() {
+		if !kept[rec.ID] {
+			m.store.Forget(rec.ID)
+		}
+	}
+	// Rewrite the journal to the retained view: without this, records
+	// evicted here (or by the previous process's live sweep) survive on
+	// disk and are re-filtered at every restart forever.
+	if err := m.store.Compact(); err != nil {
+		m.log.Warn("store compaction after recovery failed", "err", err)
+	}
+	return orphans
 }
 
 // count bumps a server counter (the stats object is shared across
@@ -191,7 +306,13 @@ func (m *Manager) observeHTTP(route string, status int, secs float64) {
 // Metrics snapshots the server counters plus live gauges, merged with
 // whatever ExtraMetrics contributes.
 func (m *Manager) Metrics() sim.StatsSnapshot {
+	m.mu.Lock()
+	registry := len(m.jobs)
+	evicted := m.evicted
+	m.mu.Unlock()
 	m.statsMu.Lock()
+	m.stats.SetGauge("serve.jobs.registry", float64(registry))
+	m.stats.SetGauge("serve.jobs.evicted", float64(evicted))
 	m.stats.SetGauge("serve.sessions", float64(m.cfg.Sessions))
 	m.stats.SetGauge("serve.queue.depth", float64(len(m.queue)))
 	m.stats.SetGauge("serve.queue.capacity", float64(m.cfg.QueueDepth))
@@ -267,36 +388,20 @@ func (m *Manager) Ready() bool {
 	return !m.draining
 }
 
-// Submit validates, rate-limits and enqueues a job. The typed errors
-// map to HTTP: ErrDraining -> 503, *OverloadError -> 429 + Retry-After,
-// anything else -> 400.
-func (m *Manager) Submit(client string, req JobRequest) (*Job, error) {
-	if !harness.ValidExperiment(req.Experiment) {
-		m.count("serve.jobs.rejected.invalid")
-		return nil, fmt.Errorf("serve: unknown experiment %q (want one of %v)",
-			req.Experiment, harness.ExperimentIDs())
-	}
-	if req.Timeout < 0 {
-		m.count("serve.jobs.rejected.invalid")
-		return nil, fmt.Errorf("serve: negative timeout %v", time.Duration(req.Timeout))
-	}
-	kinds, err := obs.ParseKinds(req.Events)
-	if err != nil {
-		m.count("serve.jobs.rejected.invalid")
-		return nil, fmt.Errorf("serve: bad events filter: %w", err)
-	}
-	if ok, retry := m.limiter.allow(client); !ok {
-		m.count("serve.jobs.rejected.rate")
-		return nil, &OverloadError{Reason: "client rate limit", RetryAfter: retry}
-	}
-
+// newJob constructs a live job — contexts, cancel cause, telemetry
+// scope (tracer + SSE hub, plus an obs recorder when the request opted
+// into event streaming), lifecycle spans. Shared by Submit (fresh
+// tracer, restarts 0) and recovery (preserved id/trace, bumped
+// restarts).
+func (m *Manager) newJob(id, client string, req JobRequest, restarts int, submitted time.Time, tracer *telemetry.Tracer) *Job {
 	jctx, cancel := context.WithCancelCause(m.baseCtx)
 	job := &Job{
-		ID:        fmt.Sprintf("job-%d", m.nextID.Add(1)),
+		ID:        id,
 		Client:    client,
 		Request:   req,
+		Restarts:  restarts,
 		state:     StateQueued,
-		submitted: time.Now(),
+		submitted: submitted,
 		cancel:    cancel,
 		done:      make(chan struct{}),
 	}
@@ -306,10 +411,10 @@ func (m *Manager) Submit(client string, req JobRequest) (*Job, error) {
 	// back in the submit response) and a hub for its SSE stream. The obs
 	// recorder is attached only when the request opted into raw event
 	// streaming — it would disable the simulator's unobserved fast path.
-	job.scope = &telemetry.Scope{Tracer: telemetry.NewTracer(), Hub: telemetry.NewHub()}
+	job.scope = &telemetry.Scope{Tracer: tracer, Hub: telemetry.NewHub()}
 	if req.Events != "" {
 		rec := obs.NewRecorder(job.scope.Hub.ObsSink())
-		if len(kinds) > 0 {
+		if kinds, err := obs.ParseKinds(req.Events); err == nil && len(kinds) > 0 {
 			rec.SetKinds(kinds...)
 		}
 		rec.SetJob(job.ID)
@@ -322,28 +427,55 @@ func (m *Manager) Submit(client string, req JobRequest) (*Job, error) {
 		telemetry.String("experiment", req.Experiment),
 		telemetry.String("client", client),
 	)
+	if restarts > 0 {
+		job.jobSpan.SetAttrs(telemetry.Int("restarts", int64(restarts)))
+	}
 	_, job.queuedSpan = telemetry.StartSpan(sctx, "queued")
+	return job
+}
+
+// persist journals the job's current snapshot (no-op without a store).
+func (m *Manager) persist(job *Job) {
+	if m.store == nil {
+		return
+	}
+	m.store.Append(job.record())
+}
+
+// Submit validates, admission-checks and enqueues a job. The typed
+// errors map to HTTP: ErrDraining -> 503, *OverloadError -> 429 +
+// Retry-After, anything else -> 400. Order matters: draining and
+// queue-full are checked before the rate limiter spends a token, so a
+// shed submission never also burns the client's budget — previously a
+// client hitting a full queue was double-penalized (429 now and a
+// poorer bucket on retry).
+func (m *Manager) Submit(client string, req JobRequest) (*Job, error) {
+	if !harness.ValidExperiment(req.Experiment) {
+		m.count("serve.jobs.rejected.invalid")
+		return nil, fmt.Errorf("serve: unknown experiment %q (want one of %v)",
+			req.Experiment, harness.ExperimentIDs())
+	}
+	if req.Timeout < 0 {
+		m.count("serve.jobs.rejected.invalid")
+		return nil, fmt.Errorf("serve: negative timeout %v", time.Duration(req.Timeout))
+	}
+	if _, err := obs.ParseKinds(req.Events); err != nil {
+		m.count("serve.jobs.rejected.invalid")
+		return nil, fmt.Errorf("serve: bad events filter: %w", err)
+	}
 
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
-		cancel(ErrDraining)
 		m.count("serve.jobs.rejected.draining")
 		return nil, ErrDraining
 	}
-	select {
-	case m.queue <- job:
-		m.jobs[job.ID] = job
+	// New submissions are bounded by the configured depth, not channel
+	// capacity (recovery may have over-provisioned the channel for
+	// resumed jobs). Checked under m.mu — only Submit adds, so the bound
+	// cannot be raced past.
+	if len(m.queue) >= m.cfg.QueueDepth {
 		m.mu.Unlock()
-		m.count("serve.jobs.submitted")
-		m.log.Info("job submitted",
-			"job", job.ID, "trace", job.TraceID(), "client", client,
-			"experiment", req.Experiment, "horizon", req.Horizon)
-		m.publishState(job)
-		return job, nil
-	default:
-		m.mu.Unlock()
-		cancel(errors.New("serve: queue full"))
 		m.count("serve.jobs.rejected.queue")
 		// Estimate the wait from the queue's measured drain rate: the
 		// backlog spread over the session pool, paced by the mean job
@@ -351,6 +483,33 @@ func (m *Manager) Submit(client string, req JobRequest) (*Job, error) {
 		// orders of magnitude once real grids (minutes each) arrive.
 		return nil, &OverloadError{Reason: "queue full", RetryAfter: m.queueRetryAfter()}
 	}
+	if ok, retry := m.limiter.allow(client); !ok {
+		m.mu.Unlock()
+		m.count("serve.jobs.rejected.rate")
+		return nil, &OverloadError{Reason: "client rate limit", RetryAfter: retry}
+	}
+	m.sweepRetentionLocked(false)
+	job := m.newJob(fmt.Sprintf("job-%d", m.nextID.Add(1)), client, req, 0, time.Now(), telemetry.NewTracer())
+	select {
+	case m.queue <- job:
+	default:
+		// Unreachable while the depth check above holds (capacity is
+		// never below QueueDepth); kept as a fail-safe so a future
+		// regression sheds instead of deadlocking under m.mu.
+		m.mu.Unlock()
+		job.cancel(errors.New("serve: queue full"))
+		m.count("serve.jobs.rejected.queue")
+		return nil, &OverloadError{Reason: "queue full", RetryAfter: m.queueRetryAfter()}
+	}
+	m.jobs[job.ID] = job
+	m.mu.Unlock()
+	m.persist(job)
+	m.count("serve.jobs.submitted")
+	m.log.Info("job submitted",
+		"job", job.ID, "trace", job.TraceID(), "client", client,
+		"experiment", req.Experiment, "horizon", req.Horizon)
+	m.publishState(job)
+	return job, nil
 }
 
 // publishState pushes the job's current view onto its hub as a "state"
@@ -392,10 +551,20 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 	if queued && job.transition(StateCancelled, cause.Error()) {
 		m.count("serve.jobs.cancelled")
 		job.endSpans(cause)
+		m.persist(job)
+		m.removeCheckpoint(job)
 		m.log.Info("job cancelled while queued", "job", job.ID, "trace", job.TraceID())
 		m.publishState(job)
 	}
 	return job, nil
+}
+
+// removeCheckpoint drops a terminal job's checkpoint file: the job will
+// never resume, so its per-cell state is dead weight in the state dir.
+func (m *Manager) removeCheckpoint(job *Job) {
+	if m.store != nil {
+		m.store.RemoveCheckpoint(job.ID)
+	}
 }
 
 // Jobs lists every known job, newest first bounded by max (0 = all).
@@ -406,18 +575,82 @@ func (m *Manager) Jobs(max int) []JobView {
 		views = append(views, j.View())
 	}
 	m.mu.Unlock()
-	// Newest first by submission time.
-	for i := 0; i < len(views); i++ {
-		for j := i + 1; j < len(views); j++ {
-			if views[j].Submitted.After(views[i].Submitted) {
-				views[i], views[j] = views[j], views[i]
-			}
+	// Newest first by submission time, id as the tie-break so replayed
+	// histories (whole restarts share coarse timestamps) list stably.
+	// O(n log n): with the store replaying full histories at startup
+	// this path must not be quadratic in the journal size.
+	sort.Slice(views, func(i, j int) bool {
+		if !views[i].Submitted.Equal(views[j].Submitted) {
+			return views[i].Submitted.After(views[j].Submitted)
 		}
-	}
+		return views[i].ID > views[j].ID
+	})
 	if max > 0 && len(views) > max {
 		views = views[:max]
 	}
 	return views
+}
+
+// Recovered reports what NewManager rebuilt from the store: terminal
+// jobs replayed into the registry and orphans resubmitted for resume.
+func (m *Manager) Recovered() (replayed, resumed int) {
+	return m.replayed, m.resumed
+}
+
+// retentionSweepEvery is the cadence of the opportunistic retention
+// sweep run on the submission path.
+const retentionSweepEvery = time.Minute
+
+// sweepRetentionLocked evicts terminal jobs per the retention policy:
+// first everything finished longer than RetentionAge ago, then the
+// oldest-finished beyond RetentionMax. Live (queued/running) jobs are
+// untouchable. Caller holds m.mu. Unless forced, the sweep runs at most
+// once per retentionSweepEvery — eviction is O(registry) and rides the
+// submission path.
+func (m *Manager) sweepRetentionLocked(force bool) {
+	if m.cfg.RetentionAge <= 0 && m.cfg.RetentionMax <= 0 {
+		return
+	}
+	now := m.now()
+	if !force && now.Sub(m.lastSweep) < retentionSweepEvery {
+		return
+	}
+	m.lastSweep = now
+	type aged struct {
+		id       string
+		finished time.Time
+	}
+	var terminal []aged
+	for id, j := range m.jobs {
+		v := j.View()
+		if !v.State.Terminal() || v.Finished == nil {
+			continue
+		}
+		if m.cfg.RetentionAge > 0 && now.Sub(*v.Finished) > m.cfg.RetentionAge {
+			m.evictLocked(id)
+			continue
+		}
+		terminal = append(terminal, aged{id, *v.Finished})
+	}
+	if m.cfg.RetentionMax > 0 && len(terminal) > m.cfg.RetentionMax {
+		sort.Slice(terminal, func(a, b int) bool {
+			return terminal[a].finished.Before(terminal[b].finished)
+		})
+		for _, t := range terminal[:len(terminal)-m.cfg.RetentionMax] {
+			m.evictLocked(t.id)
+		}
+	}
+}
+
+// evictLocked removes one terminal job from the registry, the store's
+// compaction view, and the checkpoint directory. Caller holds m.mu.
+func (m *Manager) evictLocked(id string) {
+	delete(m.jobs, id)
+	m.evicted++
+	if m.store != nil {
+		m.store.Forget(id)
+		m.store.RemoveCheckpoint(id)
+	}
 }
 
 // Drain stops admission and waits for in-flight jobs. Queued jobs still
@@ -476,6 +709,8 @@ func (m *Manager) session(id int) {
 					if job.transition(StateCancelled, "serve: daemon shutdown") {
 						m.count("serve.jobs.cancelled")
 						job.endSpans(errors.New("serve: daemon shutdown"))
+						m.persist(job)
+						m.removeCheckpoint(job)
 						m.publishState(job)
 					}
 				default:
@@ -536,9 +771,35 @@ func (m *Manager) runJob(session int, job *Job) {
 	ctx, runSpan := telemetry.StartSpan(ctx, "run")
 	runSpan.SetAttrs(telemetry.Int("session", int64(session)))
 	job.runSpan = runSpan
+	m.persist(job)
+
+	// Durable jobs thread a per-job harness checkpoint: completed grid
+	// cells are journaled under the job's id, so if this process dies
+	// mid-run the restarted daemon resumes the job from its last
+	// completed cells instead of recomputing the grid. Per-job (not the
+	// package-global SetCheckpoint slot) because concurrent sessions
+	// must not share resume state. A checkpoint that cannot be opened
+	// degrades to a non-resumable run rather than failing the job.
+	if m.store != nil {
+		if ck, err := harness.OpenCheckpoint(m.store.CheckpointPath(job.ID)); err != nil {
+			m.log.Warn("job checkpoint unavailable, run will not be resumable",
+				"job", job.ID, "err", err)
+		} else {
+			if job.Restarts > 0 && ck.Loaded() > 0 {
+				m.log.Info("job resuming from checkpoint",
+					"job", job.ID, "trace", job.TraceID(), "cells", ck.Loaded())
+			}
+			ctx = harness.WithCheckpoint(ctx, ck)
+			defer func() {
+				if cerr := ck.Close(); cerr != nil {
+					m.log.Warn("job checkpoint close failed", "job", job.ID, "err", cerr)
+				}
+			}()
+		}
+	}
 	m.log.Info("job running",
 		"job", job.ID, "trace", job.TraceID(), "session", session,
-		"experiment", job.Request.Experiment)
+		"experiment", job.Request.Experiment, "restarts", job.Restarts)
 	m.publishState(job)
 
 	m.running.Add(1)
@@ -576,6 +837,10 @@ func (m *Manager) runJob(session int, job *Job) {
 			"elapsed", elapsed)
 	}
 	job.endSpans(err)
+	// Journal the terminal snapshot (the record now carries the table or
+	// error) and drop the cell checkpoint — a terminal job never resumes.
+	m.persist(job)
+	m.removeCheckpoint(job)
 	m.publishState(job)
 }
 

@@ -609,7 +609,7 @@ func retryAfterSecs(t *testing.T, hdr http.Header) int {
 func TestHTTPShedRetryAfterDerived(t *testing.T) {
 	block := make(chan struct{})
 	srv, m := newTestServer(t, Config{
-		Sessions: 1, QueueDepth: 1, RatePerSec: 0.001, Burst: 2,
+		Sessions: 1, QueueDepth: 2, RatePerSec: 0.001, Burst: 2,
 		TrustClientHeader: true,
 		Run: func(ctx context.Context, req JobRequest) (string, error) {
 			select {
@@ -631,33 +631,37 @@ func TestHTTPShedRetryAfterDerived(t *testing.T) {
 		return resp.StatusCode, resp.Header
 	}
 
-	// One running + one queued fill the daemon; the next submission from
-	// a fresh client is shed for queue depth.
+	// Client "a" spends its burst of 2 while the queue still has room;
+	// its third submission is over rate, and at 0.001/s the derived wait
+	// is on the order of the refill time (~1000s), never the old
+	// constant's scale of seconds. (The rate path must be probed while
+	// the queue has room: queue-full is checked first and sheds without
+	// consulting — or charging — the limiter.)
 	if code, _ := submit("a"); code != http.StatusAccepted {
 		t.Fatalf("first: want 202, got %d", code)
 	}
-	if code, _ := submit("b"); code != http.StatusAccepted {
+	if code, _ := submit("a"); code != http.StatusAccepted {
 		t.Fatalf("second: want 202, got %d", code)
 	}
-	code, hdr := submit("c")
-	if code != http.StatusTooManyRequests {
-		t.Fatalf("queue full: want 429, got %d", code)
-	}
-	retryAfterSecs(t, hdr)
-
-	// Client "a" has one token left, then is over rate; at 0.001/s the
-	// derived wait is on the order of the refill time (~1000s), never
-	// the old constant's scale of seconds.
-	if code, _ = submit("a"); code != http.StatusTooManyRequests {
-		t.Fatalf("over-rate: want 429 (queue full shadows it), got %d", code)
-	}
-	code, hdr = submit("a")
+	code, hdr := submit("a")
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("over-rate: want 429, got %d", code)
 	}
 	if secs := retryAfterSecs(t, hdr); secs < 60 {
 		t.Fatalf("over-rate Retry-After %ds does not reflect the 0.001/s refill", secs)
 	}
+
+	// A fresh client tops the queue off (one running + two queued); the
+	// next fresh-client submission is shed for queue depth with a
+	// positive derived Retry-After.
+	if code, _ := submit("b"); code != http.StatusAccepted {
+		t.Fatalf("third: want 202, got %d", code)
+	}
+	code, hdr = submit("c")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("queue full: want 429, got %d", code)
+	}
+	retryAfterSecs(t, hdr)
 
 	// Drain with a deadline: the 503s' Retry-After must track the
 	// deadline's remaining time, not a constant.
