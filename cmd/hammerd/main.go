@@ -84,6 +84,7 @@ import (
 	"time"
 
 	"hammertime/internal/cluster"
+	"hammertime/internal/cluster/resilience"
 	"hammertime/internal/harness"
 	"hammertime/internal/serve"
 )
@@ -115,6 +116,18 @@ type options struct {
 	dispatchTimeout time.Duration
 	workerTTL       time.Duration
 	batchCells      int
+
+	clusterChaos     string
+	clusterChaosSeed uint64
+	rpcRetries       int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	hedgeRounds      int
+	auditFraction    float64
+	auditSeed        uint64
+	quarantineFor    time.Duration
+	corruptResults   float64
+	corruptSeed      uint64
 }
 
 func main() {
@@ -141,6 +154,17 @@ func main() {
 	flag.DurationVar(&o.dispatchTimeout, "dispatch-timeout", 2*time.Minute, "per-batch worker deadline; overrun batches are stolen and re-dispatched")
 	flag.DurationVar(&o.workerTTL, "worker-ttl", 15*time.Second, "silence after which a worker leaves the live set; heartbeats run at a third of this")
 	flag.IntVar(&o.batchCells, "batch-cells", 4, "max cells per dispatch batch")
+	flag.StringVar(&o.clusterChaos, "cluster-chaos", os.Getenv("HAMMERTIME_CLUSTER_CHAOS"), "coordinator-side RPC fault injection, e.g. drop:0.1,delay=20ms:0.3,spike=80ms@10-30,partition=w2@40-60 (default $HAMMERTIME_CLUSTER_CHAOS)")
+	flag.Uint64Var(&o.clusterChaosSeed, "cluster-chaos-seed", 1, "cluster chaos RNG seed; the fault schedule is a pure function of (seed, call index)")
+	flag.IntVar(&o.rpcRetries, "rpc-retries", 2, "extra attempts per batch RPC against the same worker before the batch is stolen (<0 disables)")
+	flag.IntVar(&o.breakerThreshold, "breaker-threshold", 3, "consecutive batch failures that open a worker's circuit breaker")
+	flag.DurationVar(&o.breakerCooldown, "breaker-cooldown", 10*time.Second, "open-breaker cooldown before the worker half-opens for a probe batch")
+	flag.IntVar(&o.hedgeRounds, "hedge-rounds", 2, "during the final N dispatch rounds, straggler batches are hedged to a second worker (<0 disables)")
+	flag.Float64Var(&o.auditFraction, "audit-fraction", 0.05, "fraction of remotely computed cells re-executed locally and byte-compared; a mismatch quarantines the worker (0 disables)")
+	flag.Uint64Var(&o.auditSeed, "audit-seed", 1, "seed selecting which cells the byte audit samples")
+	flag.DurationVar(&o.quarantineFor, "quarantine-for", 10*time.Minute, "penalty window of a worker caught returning corrupt bytes; its heartbeats are ignored until it ends")
+	flag.Float64Var(&o.corruptResults, "chaos-corrupt-results", 0, "worker-mode fault injection: probability per cell of returning corrupted result bytes (soak/CI only)")
+	flag.Uint64Var(&o.corruptSeed, "chaos-corrupt-seed", 1, "seed for -chaos-corrupt-results")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
@@ -185,8 +209,8 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 	}
 }
 
-// buildDispatcher assembles the coordinator's cache and dispatcher from
-// the cache/cluster flags.
+// buildDispatcher assembles the coordinator's cache, fault transport and
+// dispatcher from the cache/cluster/resilience flags.
 func buildDispatcher(logger *slog.Logger, o options) (*cluster.Dispatcher, error) {
 	cache := cluster.NewResultCache(o.cacheBytes)
 	if o.cacheSpill != "" {
@@ -195,13 +219,34 @@ func buildDispatcher(logger *slog.Logger, o options) (*cluster.Dispatcher, error
 		}
 		logger.Info("cache spill open", "path", o.cacheSpill, "entries", cache.Len())
 	}
-	return cluster.NewDispatcher(cluster.DispatcherConfig{
-		Cache:           cache,
-		Registry:        cluster.NewRegistry(o.workerTTL),
+	breaker := resilience.BreakerConfig{Threshold: o.breakerThreshold, Cooldown: o.breakerCooldown}
+	cfg := cluster.DispatcherConfig{
+		Cache: cache,
+		Registry: cluster.NewRegistryConfig(cluster.RegistryConfig{
+			TTL:     o.workerTTL,
+			Breaker: breaker,
+		}),
 		DispatchTimeout: o.dispatchTimeout,
 		BatchSize:       o.batchCells,
+		RPCRetries:      o.rpcRetries,
+		Breaker:         breaker,
+		HedgeRounds:     o.hedgeRounds,
+		AuditFraction:   o.auditFraction,
+		AuditSeed:       o.auditSeed,
+		QuarantineFor:   o.quarantineFor,
 		Log:             logger,
-	}), nil
+	}
+	spec, err := resilience.ParseSpec(o.clusterChaos)
+	if err != nil {
+		return nil, fmt.Errorf("cluster-chaos: %w", err)
+	}
+	if spec.Enabled() {
+		tr := resilience.NewTransport(nil, spec, o.clusterChaosSeed)
+		cfg.Client = &http.Client{Transport: tr}
+		cfg.Chaos = tr
+		logger.Warn("cluster RPC chaos armed", "spec", spec.String(), "seed", o.clusterChaosSeed)
+	}
+	return cluster.NewDispatcher(cfg), nil
 }
 
 func run(logger *slog.Logger, o options) error {
@@ -346,7 +391,14 @@ func runWorker(logger *slog.Logger, o options) error {
 		advertise = "http://" + ln.Addr().String()
 	}
 	node := &cluster.WorkerNode{Name: name, Log: logger}
-	srv := &http.Server{Handler: node.Handler()}
+	handler := node.Handler()
+	if o.corruptResults > 0 {
+		// Byzantine-worker fault injection for soaks: correct shape and
+		// keys, wrong bytes — only the coordinator's audit catches it.
+		handler = resilience.CorruptCellResults(handler, o.corruptSeed, o.corruptResults)
+		logger.Warn("worker corrupt-results chaos armed", "p", o.corruptResults, "seed", o.corruptSeed)
+	}
+	srv := &http.Server{Handler: handler}
 	fmt.Fprintf(os.Stderr, "hammerd: worker %s listening on http://%s (coordinator %s, advertised as %s)\n",
 		name, ln.Addr(), o.workerOf, advertise)
 
@@ -361,12 +413,23 @@ func runWorker(logger *slog.Logger, o options) error {
 		return fmt.Errorf("serve: %w", err)
 	case <-sigCtx.Done():
 	}
-	// Heartbeats stopped with sigCtx; the coordinator ages this worker
-	// out of the live set within -worker-ttl while we finish up.
-	fmt.Fprintln(os.Stderr, "hammerd: worker signal received, shutting down")
-	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), o.drainTimeout)
-	defer cancelHTTP()
-	if err := srv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	// Graceful drain: refuse new batches (503 + Retry-After — the
+	// coordinator's retry machinery reroutes them), tell the coordinator
+	// goodbye so it stops dispatching here immediately instead of waiting
+	// out the TTL, finish in-flight batches bounded by -drain-timeout,
+	// then close the server.
+	fmt.Fprintln(os.Stderr, "hammerd: worker signal received, draining")
+	node.StartDrain()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancelDrain()
+	if err := cluster.Deregister(drainCtx, nil, o.workerOf, name); err != nil {
+		logger.Warn("deregister failed; coordinator will age this worker out", "err", err)
+	}
+	if err := node.WaitIdle(drainCtx); err != nil {
+		// The coordinator steals overrun batches anyway; exit on schedule.
+		logger.Warn("drain bound hit with batches still in flight", "err", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	<-errCh

@@ -206,14 +206,34 @@ func TestRegistryTTLAndFailure(t *testing.T) {
 		t.Fatalf("live %v, want just a", live)
 	}
 
-	// A failure mark removes a worker instantly; a heartbeat restores it.
-	reg.Fail("a")
+	// Consecutive failures open a's breaker and remove it from dispatch.
+	// A heartbeat refreshes liveness but must NOT launder breaker state.
+	reg.ReportFailure("a")
+	reg.ReportFailure("a")
+	if len(reg.Live()) != 1 {
+		t.Fatal("worker dropped before reaching the failure threshold")
+	}
+	reg.ReportFailure("a")
 	if len(reg.Live()) != 0 {
-		t.Fatal("failed worker still live")
+		t.Fatal("open-breaker worker still live")
 	}
 	reg.Register("a", "http://a")
-	if len(reg.Live()) != 1 {
-		t.Fatal("heartbeat did not clear the failure mark")
+	if len(reg.Live()) != 0 {
+		t.Fatal("heartbeat closed an open breaker")
+	}
+
+	// After the cooldown the worker half-opens: back in the live set, but
+	// only as a probe. A verified success closes it for real.
+	now = now.Add(11 * time.Second) // past the default 10s cooldown
+	reg.Register("a", "http://a")
+	live = reg.Live()
+	if len(live) != 1 || !live[0].Probe {
+		t.Fatalf("live %+v, want a as half-open probe", live)
+	}
+	reg.ReportSuccess("a")
+	live = reg.Live()
+	if len(live) != 1 || live[0].Probe {
+		t.Fatalf("live %+v, want a fully closed after probe success", live)
 	}
 
 	views := reg.Views()
@@ -222,6 +242,9 @@ func TestRegistryTTLAndFailure(t *testing.T) {
 	}
 	if views[1].Name != "b" || views[1].Live {
 		t.Fatalf("stale worker reported live: %+v", views[1])
+	}
+	if views[0].Breaker != "closed" {
+		t.Fatalf("breaker state %q, want closed", views[0].Breaker)
 	}
 }
 

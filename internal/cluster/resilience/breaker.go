@@ -1,0 +1,114 @@
+package resilience
+
+import "time"
+
+// BreakerConfig parametrizes a circuit breaker. The zero value works:
+// trip after 3 consecutive failures, probe again after 10s.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (0 = 3).
+	Threshold int
+	// Cooldown is how long an open breaker waits before half-opening for
+	// a probe (0 = 10s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	return c
+}
+
+// State is a breaker's position.
+type State int
+
+const (
+	// Closed: traffic flows; failures are counted.
+	Closed State = iota
+	// Open: no traffic; the cooldown is running.
+	Open
+	// HalfOpen: one probe batch may flow; its outcome decides.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is the classic closed → open → half-open circuit breaker, as a
+// pure state machine over injected timestamps: every transition is a
+// function of (current state, event, now), never of wall clock read
+// internally — which keeps registry tests clock-free and deterministic.
+//
+// It is NOT internally synchronized; the owner (cluster.Registry holds
+// one per worker) serializes calls under its own lock.
+type Breaker struct {
+	cfg      BreakerConfig
+	state    State
+	fails    int
+	openedAt time.Time
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// State resolves and returns the breaker's state at now: an open breaker
+// whose cooldown has elapsed becomes half-open.
+func (b *Breaker) State(now time.Time) State {
+	if b.state == Open && !now.Before(b.openedAt.Add(b.cfg.Cooldown)) {
+		b.state = HalfOpen
+	}
+	return b.state
+}
+
+// Failure records a failed exchange: a closed breaker trips at the
+// threshold; a half-open probe failure re-opens immediately (the
+// cooldown restarts from now).
+func (b *Breaker) Failure(now time.Time) {
+	b.fails++
+	switch b.State(now) {
+	case HalfOpen:
+		b.state = Open
+		b.openedAt = now
+	case Closed:
+		if b.fails >= b.cfg.Threshold {
+			b.state = Open
+			b.openedAt = now
+		}
+	}
+}
+
+// Success records a verified exchange: a half-open probe success closes
+// the breaker; any success resets the consecutive-failure count.
+func (b *Breaker) Success(now time.Time) {
+	if b.State(now) == HalfOpen {
+		b.state = Closed
+	}
+	if b.state == Closed {
+		b.fails = 0
+	}
+}
+
+// ForceOpen opens the breaker so it stays open until reopenAt, then
+// half-opens for a probe — the quarantine shape: a worker caught
+// returning corrupt bytes serves its penalty, then must pass a probe
+// batch before rejoining.
+func (b *Breaker) ForceOpen(reopenAt time.Time) {
+	b.state = Open
+	b.fails = b.cfg.Threshold
+	b.openedAt = reopenAt.Add(-b.cfg.Cooldown)
+}

@@ -116,8 +116,14 @@ type CellResponse struct {
 // the heartbeat) a worker to the coordinator.
 type RegisterRequest struct {
 	Name string `json:"name"`
-	// Addr is the worker's base URL, e.g. "http://10.0.0.7:9091".
+	// Addr is the worker's base URL, e.g. "http://10.0.0.7:9091". Must be
+	// an absolute http(s) URL; the coordinator rejects anything else with
+	// a 400 at registration rather than failing dispatches later.
 	Addr string `json:"addr"`
+	// Deregister, when true, is a draining worker's goodbye: the
+	// coordinator drops it from dispatch immediately instead of waiting
+	// out the heartbeat TTL.
+	Deregister bool `json:"deregister,omitempty"`
 }
 
 // WorkerView is one registry entry as reported by the coordinator's
@@ -127,6 +133,11 @@ type WorkerView struct {
 	Addr     string    `json:"addr"`
 	LastSeen time.Time `json:"last_seen"`
 	Live     bool      `json:"live"`
+	// Breaker is the worker's circuit-breaker state: "closed", "open",
+	// "half-open", or "quarantined".
+	Breaker string `json:"breaker"`
+	// Quarantined marks a worker serving a corrupt-result penalty.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // errorBody is the JSON error envelope of the worker and coordinator

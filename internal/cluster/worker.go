@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"sync"
 	"time"
 
 	"hammertime/internal/harness"
@@ -26,6 +27,55 @@ type WorkerNode struct {
 	Name string
 	// Log receives per-request structured logs (nil = silent).
 	Log *slog.Logger
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// StartDrain flips the worker into draining: new batch requests are
+// refused with 503 + Retry-After (the coordinator's retry/steal machinery
+// reroutes them), while in-flight batches run to completion. Part of the
+// graceful-shutdown sequence: StartDrain → Deregister → WaitIdle →
+// server shutdown.
+func (w *WorkerNode) StartDrain() {
+	w.mu.Lock()
+	w.draining = true
+	w.mu.Unlock()
+}
+
+// Draining reports whether StartDrain was called.
+func (w *WorkerNode) Draining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
+// WaitIdle blocks until every in-flight batch has completed or ctx ends.
+func (w *WorkerNode) WaitIdle(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		w.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// beginBatch admits one batch unless the worker is draining. The caller
+// must invoke the returned func when the batch ends.
+func (w *WorkerNode) beginBatch() (func(), bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.draining {
+		return nil, false
+	}
+	w.inflight.Add(1)
+	return w.inflight.Done, true
 }
 
 // RunCells computes one CellRequest. The experiment may fail outside the
@@ -97,6 +147,16 @@ func (w *WorkerNode) RunCells(ctx context.Context, req CellRequest) (CellRespons
 func (w *WorkerNode) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/cells", func(rw http.ResponseWriter, r *http.Request) {
+		done, ok := w.beginBatch()
+		if !ok {
+			// Draining: the coordinator should retry elsewhere. 503 is
+			// retryable by the dispatch loop, and Retry-After hints at
+			// the backoff scale.
+			rw.Header().Set("Retry-After", "1")
+			writeJSON(rw, http.StatusServiceUnavailable, errorBody{Error: "worker draining"})
+			return
+		}
+		defer done()
 		var req CellRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeJSON(rw, http.StatusBadRequest, errorBody{Error: "bad request: " + err.Error()})
@@ -159,6 +219,31 @@ func Heartbeat(ctx context.Context, client *http.Client, coordinator, name, self
 			beat()
 		}
 	}
+}
+
+// Deregister sends the final goodbye heartbeat: the coordinator drops
+// the worker from dispatch immediately instead of waiting out the TTL.
+// Best-effort — a coordinator that misses it just ages the entry out.
+func Deregister(ctx context.Context, client *http.Client, coordinator, name string) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, _ := json.Marshal(RegisterRequest{Name: name, Deregister: true})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		coordinator+"/v1/cluster/register", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("cluster: deregister status %d", resp.StatusCode)
+	}
+	return nil
 }
 
 func writeJSON(rw http.ResponseWriter, status int, v any) {

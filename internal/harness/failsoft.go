@@ -540,6 +540,16 @@ func runCellGuarded[T any](ctx context.Context, grid string, i int, pol Policy, 
 // never of wall clock or scheduling, so a retried grid sleeps the same
 // schedule on every run.
 func RetryBackoff(base time.Duration, grid string, cell, attempt int) time.Duration {
+	return Backoff(base, fmt.Sprintf("%s|%d", grid, cell), attempt)
+}
+
+// Backoff is the keyed core of RetryBackoff, exported for other layers
+// that need the same deterministic schedule under their own identity —
+// the cluster coordinator keys batch-RPC retries by (grid, worker,
+// batch). Same shape: base·2^(attempt-1), capped at 64·base, jittered
+// into [d/2, d) by the sim RNG forked from an FNV-64a hash of key at the
+// attempt index.
+func Backoff(base time.Duration, key string, attempt int) time.Duration {
 	if base <= 0 {
 		return 0
 	}
@@ -551,7 +561,7 @@ func RetryBackoff(base time.Duration, grid string, cell, attempt int) time.Durat
 		d = 64 * base
 	}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d", grid, cell)
+	h.Write([]byte(key))
 	rng := sim.NewRNG(h.Sum64()).ForkAt(uint64(attempt))
 	half := d / 2
 	return half + time.Duration(rng.Float64()*float64(half))
